@@ -1,0 +1,275 @@
+package plwg
+
+// This file hosts one testing.B benchmark per table and figure of the
+// paper's evaluation, as `go test -bench` entry points. Each benchmark
+// runs a scaled-down instance of the corresponding experiment on the
+// deterministic simulator and reports the experiment's headline metric
+// through b.ReportMetric, so `go test -bench=. -benchmem` regenerates the
+// whole evaluation surface. The full-resolution sweeps (paper-scale n and
+// longer measurement windows) are produced by cmd/lwgbench and
+// cmd/lwgsim.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"plwg/internal/bench"
+	"plwg/internal/ids"
+	"plwg/internal/naming"
+	"plwg/internal/policy"
+	"plwg/internal/workload"
+)
+
+// benchDurations trades a little resolution for benchmark turnaround.
+func benchDurations() bench.Durations {
+	return bench.Durations{
+		SetupMax:    60 * time.Second,
+		Measure:     2 * time.Second,
+		RecoveryMax: 20 * time.Second,
+	}
+}
+
+// BenchmarkFig2Latency reproduces Figure 2's data-transfer latency
+// series: mean one-way delivery latency under fixed offered load, per
+// configuration, at n = 8 groups per set.
+func BenchmarkFig2Latency(b *testing.B) {
+	for _, mode := range bench.Modes {
+		b.Run(mode.String(), func(b *testing.B) {
+			var last bench.LatencyResult
+			for i := 0; i < b.N; i++ {
+				last = bench.RunLatency(mode, 8, int64(i+1), benchDurations())
+				if !last.Converged {
+					b.Fatal("run did not converge")
+				}
+			}
+			b.ReportMetric(last.MeanMs, "latency-ms")
+			b.ReportMetric(last.P99Ms, "p99-ms")
+		})
+	}
+}
+
+// BenchmarkFig2Throughput reproduces Figure 2's throughput series:
+// aggregate delivered payload with closed-loop senders, at n = 8.
+func BenchmarkFig2Throughput(b *testing.B) {
+	for _, mode := range bench.Modes {
+		b.Run(mode.String(), func(b *testing.B) {
+			var last bench.ThroughputResult
+			for i := 0; i < b.N; i++ {
+				last = bench.RunThroughput(mode, 8, int64(i+1), benchDurations())
+				if !last.Converged {
+					b.Fatal("run did not converge")
+				}
+			}
+			b.ReportMetric(last.TotalKBps, "KB/s")
+			b.ReportMetric(last.MsgsPerSec, "msgs/s")
+		})
+	}
+}
+
+// BenchmarkFig2Recovery reproduces Figure 2's recovery-time series: time
+// until every group containing a crashed member reinstalls its view, plus
+// the disruption inflicted on an unrelated group (the interference
+// effect), at n = 8.
+func BenchmarkFig2Recovery(b *testing.B) {
+	for _, mode := range bench.Modes {
+		b.Run(mode.String(), func(b *testing.B) {
+			var last bench.RecoveryResult
+			for i := 0; i < b.N; i++ {
+				last = bench.RunRecovery(mode, 8, int64(i+1), benchDurations())
+				if !last.Converged {
+					b.Fatal("run did not converge")
+				}
+			}
+			b.ReportMetric(last.MaxMs, "recovery-ms")
+			b.ReportMetric(last.UnrelatedProbeMaxMs, "unrelated-disruption-ms")
+		})
+	}
+}
+
+// BenchmarkTable3Reconcile reproduces Table 3: the naming-service
+// database merge after a partition heals. The metric is the virtual time
+// from heal to the merged (conflicting) database being visible.
+func BenchmarkTable3Reconcile(b *testing.B) {
+	var ms float64
+	for i := 0; i < b.N; i++ {
+		c, _ := NewCluster(Config{Nodes: 8, NameServers: []int{0, 4}, Seed: int64(i + 1)})
+		c.Partition([]int{0, 1, 2, 3}, []int{4, 5, 6, 7})
+		_, _ = c.Process(1).Join("a")
+		_, _ = c.Process(5).Join("a")
+		c.Run(4 * time.Second)
+		healAt := c.Now()
+		c.Heal()
+		if !c.RunUntil(func() bool {
+			return strings.Count(c.NamingDump(), "->") >= 3 // one server merged both mappings
+		}, 20*time.Millisecond, 10*time.Second) {
+			b.Fatal("databases never merged")
+		}
+		ms = float64(c.Now()-healAt) / float64(time.Millisecond)
+	}
+	b.ReportMetric(ms, "merge-visible-ms")
+}
+
+// BenchmarkTable4Convergence reproduces Table 4: the full evolution from
+// inconsistent mappings to a single merged view, measuring heal-to-
+// convergence time (stages 1–4 of Section 6).
+func BenchmarkTable4Convergence(b *testing.B) {
+	var ms float64
+	for i := 0; i < b.N; i++ {
+		c, _ := NewCluster(Config{Nodes: 8, NameServers: []int{0, 4}, Seed: int64(i + 1)})
+		c.Partition([]int{0, 1, 2, 3}, []int{4, 5, 6, 7})
+		gA, _ := c.Process(1).Join("a")
+		gB, _ := c.Process(5).Join("a")
+		c.Run(4 * time.Second)
+		healAt := c.Now()
+		c.Heal()
+		if !c.RunUntil(func() bool {
+			vA, okA := gA.View()
+			vB, okB := gB.View()
+			return okA && okB && vA.ID == vB.ID && len(vA.Members) == 2
+		}, 50*time.Millisecond, 30*time.Second) {
+			b.Fatal("views never merged")
+		}
+		ms = float64(c.Now()-healAt) / float64(time.Millisecond)
+	}
+	b.ReportMetric(ms, "heal-to-converged-ms")
+}
+
+// BenchmarkMergeViewsFlushSharing quantifies the Figure 5 design point:
+// one forced HWG flush merges the concurrent views of ALL light-weight
+// groups mapped on it at once, so the per-LWG merge cost drops as more
+// LWGs share the HWG. The metric is heal-to-convergence time per LWG.
+func BenchmarkMergeViewsFlushSharing(b *testing.B) {
+	for _, groups := range []int{1, 4, 16} {
+		b.Run(groupCountLabel(groups), func(b *testing.B) {
+			var perLwgMs float64
+			for i := 0; i < b.N; i++ {
+				c, _ := NewCluster(Config{Nodes: 8, NameServers: []int{0, 4}, Seed: int64(i + 1)})
+				names := make([]GroupName, groups)
+				handles := make(map[GroupName][]*Group)
+				for g := 0; g < groups; g++ {
+					names[g] = GroupName("g" + string(rune('a'+g%26)) + string(rune('0'+g/26)))
+				}
+				for _, name := range names {
+					for _, p := range []int{1, 2, 5, 6} {
+						h, err := c.Process(p).Join(name)
+						if err != nil {
+							b.Fatal(err)
+						}
+						handles[name] = append(handles[name], h)
+					}
+					c.Run(300 * time.Millisecond)
+				}
+				c.Run(5 * time.Second)
+				c.Partition([]int{0, 1, 2, 3}, []int{4, 5, 6, 7})
+				c.Run(4 * time.Second)
+				healAt := c.Now()
+				c.Heal()
+				ok := c.RunUntil(func() bool {
+					for _, hs := range handles {
+						ref, has := hs[0].View()
+						if !has || len(ref.Members) != 4 {
+							return false
+						}
+						for _, h := range hs[1:] {
+							v, has := h.View()
+							if !has || v.ID != ref.ID {
+								return false
+							}
+						}
+					}
+					return true
+				}, 100*time.Millisecond, 60*time.Second)
+				if !ok {
+					b.Fatal("views never merged")
+				}
+				perLwgMs = float64(c.Now()-healAt) / float64(time.Millisecond) / float64(groups)
+			}
+			b.ReportMetric(perLwgMs, "heal-ms-per-lwg")
+		})
+	}
+}
+
+// BenchmarkPolicyRules measures the pure cost of one Figure 1 heuristics
+// pass over many groups (the paper runs it once a minute precisely
+// because it is cheap).
+func BenchmarkPolicyRules(b *testing.B) {
+	p := policy.DefaultParams()
+	var hwgs []policy.HWG
+	for i := 0; i < 50; i++ {
+		members := make([]ids.ProcessID, 8)
+		for j := range members {
+			members[j] = ids.ProcessID((i + j) % 64)
+		}
+		hwgs = append(hwgs, policy.HWG{GID: ids.HWGID(i + 1), Members: ids.NewMembers(members...)})
+	}
+	lwg := ids.NewMembers(1, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 1; j < len(hwgs); j++ {
+			policy.ShouldCollapse(hwgs[0].Members, hwgs[j].Members, p)
+		}
+		policy.Interference(lwg, hwgs[0], hwgs, p)
+	}
+}
+
+// BenchmarkNamingMerge measures the naming-service database merge (the
+// reconciliation primitive run on every anti-entropy exchange) across
+// database sizes — the paper's §5.2 scalability concern.
+func BenchmarkNamingMerge(b *testing.B) {
+	for _, size := range []int{100, 1000, 5000} {
+		b.Run(fmt.Sprintf("%d-entries", size), func(b *testing.B) {
+			var entries []naming.Entry
+			for i := 0; i < size; i++ {
+				entries = append(entries, naming.Entry{
+					LWG:  ids.LWGID(fmt.Sprintf("g%d", i%(size/4+1))),
+					View: ids.ViewID{Coord: ids.ProcessID(i % 8), Seq: uint64(i + 1)},
+					HWG:  ids.HWGID(i%16 + 1),
+					Ver:  1,
+				})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db := naming.NewDB()
+				db.Merge(entries)
+			}
+			b.ReportMetric(float64(size)/float64(b.Elapsed().Nanoseconds()/int64(b.N))*1e9, "entries/s")
+		})
+	}
+}
+
+// BenchmarkSimulatorEventRate measures the raw event throughput of the
+// discrete-event substrate (events of simulated work per wall-clock
+// second), the limit on experiment scale.
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	h := bench.NewHarness(bench.DynamicLWG, workload.Fig2Topology(4), 1)
+	if !h.Setup(60 * time.Second) {
+		b.Fatal("setup failed")
+	}
+	for gi, g := range h.Topo.Groups {
+		gi, g := gi, g
+		h.Every(5*time.Millisecond, func() { h.Send(gi, g.Sender(), 512) })
+	}
+	start := h.S.Steps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.S.RunFor(100 * time.Millisecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(h.S.Steps()-start)/float64(b.N), "events/op")
+}
+
+func groupCountLabel(n int) string {
+	switch n {
+	case 1:
+		return "1-lwg"
+	case 4:
+		return "4-lwgs"
+	default:
+		return "16-lwgs"
+	}
+}
+
+var _ io.Writer // keep io imported if renderers move here later

@@ -1,0 +1,89 @@
+// Command lwgbench regenerates the paper's evaluation (Section 3.3,
+// Figure 2): for every point of the groups-per-set sweep it builds the
+// three configurations — no LWG service, static LWG service, dynamic LWG
+// service — on the simulated 10 Mbps shared Ethernet and measures
+// data-transfer latency, throughput and crash-recovery time.
+//
+// Usage:
+//
+//	lwgbench -experiment fig2-latency|fig2-throughput|fig2-recovery|all
+//	         [-ns 1,2,4,8,16,32] [-seed 1] [-measure 5s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"plwg/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lwgbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("lwgbench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "all",
+		"fig2-latency | fig2-throughput | fig2-recovery | all")
+	nsFlag := fs.String("ns", "1,2,4,8,16,32", "comma-separated groups-per-set sweep")
+	seed := fs.Int64("seed", 1, "simulation seed (runs are deterministic per seed)")
+	measure := fs.Duration("measure", 5*time.Second, "virtual measurement window")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseNs(*nsFlag)
+	if err != nil {
+		return err
+	}
+	d := bench.DefaultDurations()
+	d.Measure = *measure
+
+	fmt.Fprintf(out, "plwg evaluation — %d-node simulated 10 Mbps shared Ethernet, seed %d\n",
+		8, *seed)
+	fmt.Fprintf(out, "configurations: no-lwg (one HWG per group), static-lwg (all groups on one HWG),\n")
+	fmt.Fprintf(out, "                dynamic-lwg (this library)\n\n")
+
+	switch *experiment {
+	case "fig2-latency":
+		bench.Figure2Latency(out, ns, *seed, d)
+	case "fig2-throughput":
+		bench.Figure2Throughput(out, ns, *seed, d)
+	case "fig2-recovery":
+		bench.Figure2Recovery(out, ns, *seed, d)
+	case "all":
+		bench.Figure2Latency(out, ns, *seed, d)
+		fmt.Fprintln(out)
+		bench.Figure2Throughput(out, ns, *seed, d)
+		fmt.Fprintln(out)
+		bench.Figure2Recovery(out, ns, *seed, d)
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return nil
+}
+
+func parseNs(s string) ([]int, error) {
+	var ns []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad sweep value %q", part)
+		}
+		ns = append(ns, n)
+	}
+	if len(ns) == 0 {
+		return nil, fmt.Errorf("empty sweep")
+	}
+	return ns, nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseNs(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"1,2,4", []int{1, 2, 4}, false},
+		{" 8 , 16 ", []int{8, 16}, false},
+		{"1", []int{1}, false},
+		{"", nil, true},
+		{"a", nil, true},
+		{"0", nil, true},
+		{"-3", nil, true},
+		{"1,,2", []int{1, 2}, false},
+	}
+	for _, tt := range tests {
+		got, err := parseNs(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseNs(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("parseNs(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "nope", "-ns", "1"}, nil); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-ns", "x"}, nil); err == nil {
+		t.Error("bad sweep accepted")
+	}
+}

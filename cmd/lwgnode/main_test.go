@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+
+	"plwg/internal/ids"
+)
+
+func TestParsePeers(t *testing.T) {
+	got, err := parsePeers("0=127.0.0.1:7000, 2=10.0.0.1:9,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "127.0.0.1:7000" || got[2] != "10.0.0.1:9" {
+		t.Errorf("parsePeers = %v", got)
+	}
+	for _, bad := range []string{"", "0", "x=1:2", "0=a=b=c"} {
+		if _, err := parsePeers(bad); err == nil && bad != "0=a=b=c" {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsePids(t *testing.T) {
+	got, err := parsePids("0, 4 ,7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ids.ProcessID{0, 4, 7}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("parsePids = %v", got)
+	}
+	if _, err := parsePids("a"); err == nil {
+		t.Error("bad pid accepted")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := splitList(" a, ,b ,"); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("splitList = %v", got)
+	}
+	if got := splitList(""); len(got) != 0 {
+		t.Errorf("splitList(\"\") = %v", got)
+	}
+}

@@ -1,0 +1,41 @@
+// Command lwgsim replays the paper's reconciliation scenarios and prints
+// the naming-service database evolution of Tables 3 and 4.
+//
+// Usage:
+//
+//	lwgsim -scenario table3   # inconsistent mappings after a heal
+//	lwgsim -scenario table4   # full evolution to a single merged mapping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plwg/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lwgsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lwgsim", flag.ContinueOnError)
+	scenario := fs.String("scenario", "table4", "table3 | table4")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *scenario {
+	case "table3":
+		bench.Table3Scenario(os.Stdout, *seed)
+	case "table4":
+		bench.Table4Scenario(os.Stdout, *seed)
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package plwg_test
+
+import (
+	"fmt"
+	"time"
+
+	"plwg"
+)
+
+// The basic lifecycle: build a cluster, join a group from two processes,
+// exchange a message.
+func Example() {
+	cluster, _ := plwg.NewCluster(plwg.Config{Nodes: 4, NameServers: []int{0}, Seed: 1})
+
+	g1, _ := cluster.Process(1).Join("chat")
+	g2, _ := cluster.Process(2).Join("chat")
+	g2.OnData(func(src plwg.ProcessID, data []byte) {
+		fmt.Printf("%v: %s\n", src, data)
+	})
+
+	cluster.RunUntil(func() bool {
+		v, ok := g1.View()
+		return ok && len(v.Members) == 2
+	}, 100*time.Millisecond, 10*time.Second)
+
+	_ = g1.Send([]byte("hello, group"))
+	cluster.Run(time.Second)
+	// Output: p1: hello, group
+}
+
+// Partitions split a group into concurrent views; healing reconciles
+// them automatically (the paper's contribution).
+func ExampleCluster_Partition() {
+	cluster, _ := plwg.NewCluster(plwg.Config{Nodes: 8, NameServers: []int{0, 4}, Seed: 3})
+	cluster.Partition([]int{0, 1, 2, 3}, []int{4, 5, 6, 7})
+
+	// Created independently on both sides: two concurrent views on two
+	// different heavy-weight groups.
+	gA, _ := cluster.Process(1).Join("orders")
+	gB, _ := cluster.Process(5).Join("orders")
+	cluster.Run(5 * time.Second)
+	vA, _ := gA.View()
+	vB, _ := gB.View()
+	fmt.Printf("partitioned: %d + %d members\n", len(vA.Members), len(vB.Members))
+
+	cluster.Heal()
+	cluster.RunUntil(func() bool {
+		a, okA := gA.View()
+		b, okB := gB.View()
+		return okA && okB && a.ID == b.ID
+	}, 200*time.Millisecond, 30*time.Second)
+	vA, _ = gA.View()
+	fmt.Printf("healed: %d members, one view\n", len(vA.Members))
+	// Output:
+	// partitioned: 1 + 1 members
+	// healed: 2 members, one view
+}
+
+// State transfer hands a joiner the group's application state before its
+// first view.
+func ExampleGroup_StateProvider() {
+	cluster, _ := plwg.NewCluster(plwg.Config{Nodes: 3, NameServers: []int{0}, Seed: 2})
+
+	counter := 0
+	g1, _ := cluster.Process(1).Join("counter")
+	g1.StateProvider(func() []byte { return []byte(fmt.Sprint(counter)) })
+	g1.OnData(func(plwg.ProcessID, []byte) { counter++ })
+	cluster.Run(2 * time.Second)
+	_ = g1.Send([]byte("inc"))
+	_ = g1.Send([]byte("inc"))
+	cluster.Run(time.Second)
+
+	g2, _ := cluster.Process(2).Join("counter")
+	g2.OnState(func(state []byte) {
+		fmt.Printf("joiner starts from state %s\n", state)
+	})
+	cluster.Run(4 * time.Second)
+	// Output: joiner starts from state 2
+}

@@ -1,0 +1,179 @@
+// Collaboration: a CCTL-style groupware session (the paper's second
+// motivating application) — one application managing several channels
+// per session: a whiteboard, a chat and a presence channel, with members
+// joining and leaving as users come and go. Because the channels of one
+// session share membership, the dynamic service maps them onto a single
+// heavy-weight group. When a channel's membership drifts mildly (a user
+// joins only the chat), the Figure 1 hysteresis deliberately keeps the
+// mapping stable; only a strong drift (overlap below 1/k_m) triggers a
+// switch.
+//
+//	go run ./examples/collaboration
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"plwg"
+)
+
+var channels = []plwg.GroupName{"session/whiteboard", "session/chat", "session/presence"}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := plwg.NewCluster(plwg.Config{
+		Nodes:       6,
+		NameServers: []int{0},
+		Seed:        11,
+	})
+	if err != nil {
+		return err
+	}
+
+	// User 1 starts a collaboration session, creating the channels one
+	// after another — the optimistic creation-time mapping then puts
+	// them all on one heavy-weight group. Users 2 and 3 join the
+	// existing session.
+	handles := make(map[plwg.GroupName]map[int]*plwg.Group)
+	for _, ch := range channels {
+		handles[ch] = make(map[int]*plwg.Group)
+	}
+	for _, ch := range channels {
+		g, err := cluster.Process(1).Join(ch)
+		if err != nil {
+			return err
+		}
+		handles[ch][1] = g
+		cluster.Run(time.Second)
+	}
+	for _, user := range []int{2, 3} {
+		joinSession(cluster, handles, user)
+		cluster.Run(500 * time.Millisecond)
+	}
+	if !waitMembers(cluster, handles, 3) {
+		return fmt.Errorf("session did not converge")
+	}
+
+	fmt.Println("session up: 3 users × 3 channels")
+	fmt.Printf("user 1's channels: %v\n", cluster.Process(1).Groups())
+	for _, ch := range channels {
+		if h, ok := cluster.Process(1).Mapping(ch); ok {
+			fmt.Printf("  %s rides on %v\n", ch, h)
+		}
+	}
+	fmt.Printf("heavy-weight groups at user 1: %v (one HWG carries the session)\n",
+		cluster.Process(1).HWGs())
+
+	// Draw and chat.
+	handles["session/chat"][2].OnData(func(src plwg.ProcessID, data []byte) {
+		fmt.Printf("[chat @ user2] %v: %s\n", src, data)
+	})
+	handles["session/whiteboard"][3].OnData(func(src plwg.ProcessID, data []byte) {
+		fmt.Printf("[draw @ user3] %v: %s\n", src, data)
+	})
+	_ = handles["session/chat"][1].Send([]byte("shall we start?"))
+	_ = handles["session/whiteboard"][1].Send([]byte("rect(10,10,40,30)"))
+	cluster.Run(time.Second)
+
+	// The whiteboard is stateful: user 1 provides its drawing log to
+	// late joiners (virtual-synchrony state transfer).
+	var drawing []string
+	handles["session/whiteboard"][1].OnData(func(_ plwg.ProcessID, data []byte) {
+		drawing = append(drawing, string(data))
+	})
+	handles["session/whiteboard"][1].StateProvider(func() []byte {
+		return []byte(strings.Join(drawing, ";"))
+	})
+	_ = handles["session/whiteboard"][1].Send([]byte("circle(25,25,10)"))
+	cluster.Run(time.Second)
+
+	// A fourth user joins late, and only the chat channel: channel
+	// membership drifts apart.
+	fmt.Println("--- user 4 joins the chat only ---")
+	g, err := cluster.Process(4).Join("session/chat")
+	if err != nil {
+		return err
+	}
+	handles["session/chat"][4] = g
+	cluster.Run(3 * time.Second)
+	v, _ := g.View()
+	fmt.Printf("chat view now %v\n", v)
+
+	// A fifth user joins the whiteboard and receives the accumulated
+	// drawing before its first view.
+	fmt.Println("--- user 5 joins the whiteboard; state transfer ---")
+	wb, err := cluster.Process(5).Join("session/whiteboard")
+	if err != nil {
+		return err
+	}
+	handles["session/whiteboard"][5] = wb
+	wb.OnState(func(state []byte) {
+		fmt.Printf("user 5 received whiteboard state: %q\n", state)
+	})
+	cluster.Run(3 * time.Second)
+
+	// Run the mapping heuristics. The drift is mild — the whiteboard
+	// still shares 3 of the HWG's 4 members — so the Figure 1
+	// hysteresis keeps every channel where it is (stability by design;
+	// switches would only start below 25% overlap).
+	for pass := 0; pass < 2; pass++ {
+		for i := 1; i <= 4; i++ {
+			cluster.Process(i).RunPolicyNow()
+		}
+		cluster.Run(3 * time.Second)
+	}
+	for _, ch := range channels {
+		if h, ok := cluster.Process(1).Mapping(ch); ok {
+			fmt.Printf("after policy: %s rides on %v\n", ch, h)
+		}
+	}
+
+	// User 2 leaves the whole session.
+	fmt.Println("--- user 2 leaves the session ---")
+	for _, ch := range channels {
+		if h, ok := handles[ch][2]; ok {
+			_ = h.Leave()
+		}
+	}
+	cluster.Run(2 * time.Second)
+	for _, ch := range channels {
+		if h, ok := handles[ch][1]; ok {
+			if v, ok := h.View(); ok {
+				fmt.Printf("%s: %v\n", ch, v)
+			}
+		}
+	}
+	return nil
+}
+
+func joinSession(c *plwg.Cluster, handles map[plwg.GroupName]map[int]*plwg.Group, user int) {
+	for _, ch := range channels {
+		g, err := c.Process(user).Join(ch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		handles[ch][user] = g
+	}
+}
+
+func waitMembers(c *plwg.Cluster, handles map[plwg.GroupName]map[int]*plwg.Group, n int) bool {
+	return c.RunUntil(func() bool {
+		for _, ch := range channels {
+			for _, g := range handles[ch] {
+				v, ok := g.View()
+				if !ok || len(v.Members) != n {
+					return false
+				}
+			}
+		}
+		return true
+	}, 200*time.Millisecond, 30*time.Second)
+}

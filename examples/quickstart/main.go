@@ -1,0 +1,84 @@
+// Quickstart: create a cluster, join a light-weight group from several
+// processes, exchange virtually synchronous multicasts, and watch views
+// change as members come and go.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"plwg"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Four simulated nodes on a shared 10 Mbps Ethernet; the naming
+	// service runs on node 0.
+	cluster, err := plwg.NewCluster(plwg.Config{
+		Nodes:       4,
+		NameServers: []int{0},
+		Seed:        1,
+	})
+	if err != nil {
+		return err
+	}
+
+	// p1 creates the group, p2 and p3 join it.
+	groups := make(map[int]*plwg.Group)
+	for _, n := range []int{1, 2, 3} {
+		n := n
+		g, err := cluster.Process(n).Join("chat")
+		if err != nil {
+			return err
+		}
+		g.OnView(func(v plwg.View) {
+			fmt.Printf("[%5.2fs] p%d sees view %v\n", cluster.Now().Seconds(), n, v)
+		})
+		g.OnData(func(src plwg.ProcessID, data []byte) {
+			fmt.Printf("[%5.2fs] p%d got %q from %v\n", cluster.Now().Seconds(), n, data, src)
+		})
+		groups[n] = g
+	}
+
+	// Let membership converge, then talk.
+	converged := cluster.RunUntil(func() bool {
+		v, ok := groups[1].View()
+		return ok && len(v.Members) == 3
+	}, 100*time.Millisecond, 15*time.Second)
+	if !converged {
+		return fmt.Errorf("membership did not converge")
+	}
+
+	fmt.Println("--- sending ---")
+	if err := groups[1].Send([]byte("hello, group")); err != nil {
+		return err
+	}
+	cluster.Run(time.Second)
+
+	// p3 leaves; the survivors install a smaller view.
+	fmt.Println("--- p3 leaves ---")
+	if err := groups[3].Leave(); err != nil {
+		return err
+	}
+	cluster.Run(2 * time.Second)
+
+	// p2 crashes; failure detection removes it.
+	fmt.Println("--- p2 crashes ---")
+	cluster.Crash(2)
+	cluster.Run(3 * time.Second)
+
+	v, _ := groups[1].View()
+	fmt.Printf("final view at p1: %v\n", v)
+	if hwg, ok := cluster.Process(1).Mapping("chat"); ok {
+		fmt.Printf("the group rides on heavy-weight group %v\n", hwg)
+	}
+	return nil
+}

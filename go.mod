@@ -1,0 +1,3 @@
+module plwg
+
+go 1.22

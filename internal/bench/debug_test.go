@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"plwg/internal/core"
+	"plwg/internal/ids"
+	"plwg/internal/naming"
+	"plwg/internal/netsim"
+	"plwg/internal/sim"
+	"plwg/internal/trace"
+	"plwg/internal/workload"
+)
+
+// TestDebugStatic is development scaffolding: set BENCH_DEBUG=1 to dump a
+// trace of the static configuration's setup.
+func TestDebugStatic(t *testing.T) {
+	if os.Getenv("BENCH_DEBUG") == "" {
+		t.Skip("set BENCH_DEBUG=1 to run")
+	}
+	topo := workload.Fig2Topology(1)
+	s := sim.New(1)
+	nw := netsim.New(s, netsim.DefaultParams())
+	rec := &trace.Recorder{}
+	eps := make(map[ids.ProcessID]*core.Endpoint)
+	serverPids := []ids.ProcessID{0}
+	svc := core.DefaultConfig()
+	svc.PolicyInterval = 24 * time.Hour
+	var servers []*naming.Server
+	for i := 0; i < topo.Procs; i++ {
+		pid := ids.ProcessID(i)
+		mux := netsim.NewMux()
+		ep := core.New(core.Params{
+			Net: nw, PID: pid, Servers: serverPids, Config: svc, Tracer: rec,
+		}, mux)
+		if pid == 0 {
+			srv := naming.NewServer(naming.ServerParams{Net: nw, PID: 0, Peers: serverPids, Tracer: rec})
+			mux.Handle(naming.ServerPrefix, srv.HandleMessage)
+			srv.Start()
+			servers = append(servers, srv)
+		}
+		nw.AddNode(pid, mux.Handler())
+		eps[pid] = ep
+	}
+	for i, g := range topo.Groups {
+		servers[0].DB().Put(naming.Entry{
+			LWG: g.Name, View: ids.ViewID{Coord: 0, Seq: uint64(i) + 1}, HWG: staticHWG, Ver: 1,
+		})
+	}
+	for _, g := range topo.Groups {
+		for _, p := range g.Members {
+			_ = eps[p].Join(g.Name)
+		}
+	}
+	s.RunFor(20 * time.Second)
+	t.Log("\n" + rec.Dump())
+	for _, g := range topo.Groups {
+		for _, p := range g.Members {
+			v, ok := eps[p].LWGView(g.Name)
+			t.Logf("%s@%v: %v ok=%v", g.Name, p, v, ok)
+		}
+	}
+	t.Log(servers[0].DB().Dump())
+}

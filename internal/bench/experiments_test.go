@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"plwg/internal/workload"
+)
+
+func shortDurations() Durations {
+	return Durations{
+		SetupMax:    60 * time.Second,
+		Measure:     2 * time.Second,
+		RecoveryMax: 20 * time.Second,
+	}
+}
+
+func TestHarnessSetupAllModes(t *testing.T) {
+	for _, mode := range Modes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			h := NewHarness(mode, workload.Fig2Topology(2), 1)
+			if !h.Setup(60 * time.Second) {
+				t.Fatalf("%v did not converge (virtual %v)", mode, h.S.Now().Duration())
+			}
+			if !h.Converged() {
+				t.Fatal("Converged() inconsistent")
+			}
+		})
+	}
+}
+
+func TestHWGCountPerMode(t *testing.T) {
+	// The structural claim of the paper: with n groups per set, the
+	// no-LWG configuration runs 2n heavy-weight groups, the static one
+	// runs 1, and the dynamic one converges to 2 (one per set).
+	const n = 3
+	counts := map[Mode]int{}
+	for _, mode := range Modes {
+		h := NewHarness(mode, workload.Fig2Topology(n), 1)
+		if !h.Setup(60 * time.Second) {
+			t.Fatalf("%v did not converge", mode)
+		}
+		h.RunPolicyEverywhere()
+		h.S.RunFor(3 * time.Second)
+		counts[mode] = h.HWGCount()
+	}
+	if counts[NoLWG] != 2*n {
+		t.Errorf("no-lwg HWGs = %d, want %d", counts[NoLWG], 2*n)
+	}
+	if counts[StaticLWG] != 1 {
+		t.Errorf("static HWGs = %d, want 1", counts[StaticLWG])
+	}
+	if counts[DynamicLWG] != 2 {
+		t.Errorf("dynamic HWGs = %d, want 2", counts[DynamicLWG])
+	}
+}
+
+func TestLatencyExperimentRuns(t *testing.T) {
+	for _, mode := range Modes {
+		r := RunLatency(mode, 2, 1, shortDurations())
+		if !r.Converged {
+			t.Fatalf("%v latency run did not converge", mode)
+		}
+		if r.Samples == 0 || r.MeanMs <= 0 {
+			t.Errorf("%v: no latency samples (%+v)", mode, r)
+		}
+		// Sanity: a 1KB frame takes ~0.86ms on a 10 Mbps bus; one-way
+		// latency must be at least that and far below a second.
+		if r.MeanMs < 0.5 || r.MeanMs > 1000 {
+			t.Errorf("%v: implausible latency %.2fms", mode, r.MeanMs)
+		}
+	}
+}
+
+func TestThroughputExperimentRuns(t *testing.T) {
+	for _, mode := range Modes {
+		r := RunThroughput(mode, 2, 1, shortDurations())
+		if !r.Converged {
+			t.Fatalf("%v throughput run did not converge", mode)
+		}
+		if r.TotalKBps <= 0 || r.MsgsPerSec <= 0 {
+			t.Errorf("%v: no throughput measured (%+v)", mode, r)
+		}
+		// The bus is 10 Mbps ≈ 1220 KB/s; deliveries fan out to 3
+		// remote receivers, so delivered payload can exceed raw bus
+		// bandwidth ×3, but not more.
+		if r.TotalKBps > 3*1250 {
+			t.Errorf("%v: impossible throughput %.0f KB/s", mode, r.TotalKBps)
+		}
+	}
+}
+
+func TestRecoveryExperimentRuns(t *testing.T) {
+	for _, mode := range Modes {
+		r := RunRecovery(mode, 2, 1, shortDurations())
+		if !r.Converged {
+			t.Fatalf("%v recovery run did not complete", mode)
+		}
+		// Detection alone needs the failure-detection timeout (350ms).
+		if r.MaxMs < 100 || r.MaxMs > 20000 {
+			t.Errorf("%v: implausible recovery %.0fms", mode, r.MaxMs)
+		}
+	}
+}
+
+func TestFigure2Shapes(t *testing.T) {
+	// The qualitative claims of Section 3.3 at a modest scale:
+	//  (a) recovery: no-lwg recovery grows with n and is worse than
+	//      dynamic (resource sharing);
+	//  (b) interference: the static configuration disturbs unrelated
+	//      groups during recovery far more than the dynamic one.
+	if testing.Short() {
+		t.Skip("multi-second simulation sweep")
+	}
+	d := shortDurations()
+	recNo8 := RunRecovery(NoLWG, 8, 1, d)
+	recDyn8 := RunRecovery(DynamicLWG, 8, 1, d)
+	recStat8 := RunRecovery(StaticLWG, 8, 1, d)
+	if !recNo8.Converged || !recDyn8.Converged || !recStat8.Converged {
+		t.Fatal("recovery runs did not converge")
+	}
+	if recNo8.MaxMs <= recDyn8.MaxMs {
+		t.Errorf("resource sharing not visible: no-lwg %.0fms <= dynamic %.0fms",
+			recNo8.MaxMs, recDyn8.MaxMs)
+	}
+	if recStat8.UnrelatedProbeMaxMs <= recDyn8.UnrelatedProbeMaxMs {
+		t.Errorf("interference not visible: static probe %.1fms <= dynamic probe %.1fms",
+			recStat8.UnrelatedProbeMaxMs, recDyn8.UnrelatedProbeMaxMs)
+	}
+}
+
+func TestFigureRenderers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation sweep")
+	}
+	d := Durations{SetupMax: 60 * time.Second, Measure: time.Second, RecoveryMax: 20 * time.Second}
+	var b strings.Builder
+	Figure2Latency(&b, []int{1}, 1, d)
+	Figure2Throughput(&b, []int{1}, 1, d)
+	Figure2Recovery(&b, []int{1}, 1, d)
+	out := b.String()
+	for _, want := range []string{"latency", "throughput", "recovery", "dynamic-lwg"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "n/a") {
+		t.Errorf("some cells did not converge:\n%s", out)
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"plwg/internal/ids"
+	"plwg/internal/naming"
+	"plwg/internal/netsim"
+)
+
+// TestChaosConvergence drives the full stack through a random schedule
+// of joins, leaves, sends, partitions, heals and crashes, then heals the
+// network and checks the paper's convergence guarantees:
+//
+//   - every surviving member of each light-weight group ends in the same
+//     view, containing exactly the surviving members;
+//   - all members agree on the group's heavy-weight mapping;
+//   - the naming service ends with at most one live mapping per group;
+//   - view synchrony held at the LWG level throughout (processes that
+//     installed the same two consecutive views delivered the same
+//     messages in between).
+//
+// Runs are deterministic per seed, so any failure replays exactly.
+func TestChaosConvergence(t *testing.T) {
+	seeds := int64(12)
+	if os.Getenv("PLWG_SOAK") != "" {
+		seeds = 100 // soak mode: PLWG_SOAK=1 go test -run TestChaos ./internal/core
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaos(t, seed)
+		})
+	}
+}
+
+func runChaos(t *testing.T, seed int64) {
+	t.Helper()
+	w := runChaosWorld(t, seed)
+	checkChaosInvariants(t, w)
+}
+
+// chaosMembers records, per LWG, the processes expected to be members at
+// the end of the schedule.
+var chaosLWGs = []ids.LWGID{"x", "y", "z"}
+
+func runChaosWorld(t *testing.T, seed int64) *cWorld {
+	t.Helper()
+	// Short mapping leases so that mappings orphaned by crashed views
+	// (which genealogy GC can never collect) expire within the test's
+	// quiescence window.
+	cfg := testCfg()
+	cfg.MappingRefreshInterval = 2 * time.Second
+	w := newCWorldNS(t, 8, []ids.ProcessID{0, 4}, cfg,
+		naming.Config{MappingTTL: 8 * time.Second})
+	r := rand.New(rand.NewSource(seed))
+
+	lwgs := []ids.LWGID{"x", "y", "z"}
+	// crashable excludes the naming-server nodes so reconciliation
+	// always has a reachable replica.
+	crashable := []ids.ProcessID{1, 2, 3, 5, 6, 7}
+	memberOf := make(map[ids.LWGID]map[ids.ProcessID]bool)
+	for _, l := range lwgs {
+		memberOf[l] = make(map[ids.ProcessID]bool)
+	}
+	crashed := make(map[ids.ProcessID]bool)
+	crashes := 0
+	partitioned := false
+	msgID := 0
+
+	alive := func(p ids.ProcessID) bool { return !crashed[p] }
+	// pickMember selects a live member deterministically (map iteration
+	// order must not leak into the schedule).
+	pickMember := func(l ids.LWGID) (ids.ProcessID, bool) {
+		var ms []ids.ProcessID
+		for p := range memberOf[l] {
+			if alive(p) {
+				ms = append(ms, p)
+			}
+		}
+		if len(ms) == 0 {
+			return 0, false
+		}
+		sorted := ids.NewMembers(ms...)
+		return sorted[r.Intn(len(sorted))], true
+	}
+
+	// 60 random operations, ~0.5s of virtual time apart.
+	for op := 0; op < 60; op++ {
+		w.run(time.Duration(200+r.Intn(600)) * time.Millisecond)
+		switch k := r.Intn(10); {
+		case k < 4: // join
+			p := ids.ProcessID(r.Intn(8))
+			l := lwgs[r.Intn(len(lwgs))]
+			if alive(p) && !memberOf[l][p] {
+				if err := w.eps[p].Join(l); err == nil {
+					memberOf[l][p] = true
+				}
+			}
+		case k < 5: // leave
+			l := lwgs[r.Intn(len(lwgs))]
+			if p, ok := pickMember(l); ok {
+				_ = w.eps[p].Leave(l)
+				delete(memberOf[l], p)
+			}
+		case k < 8: // send
+			l := lwgs[r.Intn(len(lwgs))]
+			if p, ok := pickMember(l); ok {
+				msgID++
+				_ = w.eps[p].Send(l, []byte(fmt.Sprintf("c%d", msgID)))
+			}
+		case k < 9: // partition or heal
+			if partitioned {
+				w.nw.Heal()
+				partitioned = false
+			} else {
+				cut := 1 + r.Intn(7)
+				var a, b []netsim.NodeID
+				for i := 0; i < 8; i++ {
+					if i < cut {
+						a = append(a, ids.ProcessID(i))
+					} else {
+						b = append(b, ids.ProcessID(i))
+					}
+				}
+				w.nw.SetPartitions(a, b)
+				partitioned = true
+			}
+		default: // crash (at most 2)
+			if crashes < 2 {
+				p := crashable[r.Intn(len(crashable))]
+				if alive(p) {
+					w.nw.Crash(p)
+					crashed[p] = true
+					crashes++
+					for _, l := range lwgs {
+						delete(memberOf[l], p)
+					}
+				}
+			}
+		}
+	}
+
+	// Quiesce: heal and give reconciliation time to converge.
+	w.nw.Heal()
+	w.run(30 * time.Second)
+	w.chaosMembers = memberOf
+	return w
+}
+
+func checkChaosInvariants(t *testing.T, w *cWorld) {
+	t.Helper()
+	memberOf := w.chaosMembers
+	for _, l := range chaosLWGs {
+		var members []ids.ProcessID
+		for p := range memberOf[l] {
+			members = append(members, p)
+		}
+		if len(members) == 0 {
+			continue
+		}
+		want := ids.NewMembers(members...)
+		ref, ok := w.eps[want[0]].LWGView(l)
+		if !ok {
+			t.Fatalf("%s: %v has no view\ntrace tail:\n%s", l, want[0], tail(w, 60))
+		}
+		refHwg, _ := w.eps[want[0]].Mapping(l)
+		if !ref.Members.Equal(want) {
+			t.Errorf("%s: view members %v, want %v\ntrace tail:\n%s",
+				l, ref.Members, want, tail(w, 60))
+		}
+		for _, p := range want[1:] {
+			v, ok := w.eps[p].LWGView(l)
+			if !ok || v.ID != ref.ID {
+				t.Errorf("%s: %v has view %v (ok=%v), want %v", l, p, v, ok, ref.ID)
+			}
+			if h, _ := w.eps[p].Mapping(l); h != refHwg {
+				t.Errorf("%s: %v mapped on %v, %v mapped on %v", l, p, h, want[0], refHwg)
+			}
+		}
+		for _, srv := range w.servers {
+			if live := srv.DB().Live(l); len(live) > 1 {
+				t.Errorf("%s: server %v has %d live mappings:\n%s",
+					l, srv.PID(), len(live), srv.DB().Dump())
+			}
+		}
+		checkLWGViewSynchrony(t, w, l)
+	}
+}
+
+// checkLWGViewSynchrony verifies the LWG-level virtual synchrony
+// property over the recorded upcall logs.
+func checkLWGViewSynchrony(t *testing.T, w *cWorld, lwg ids.LWGID) {
+	t.Helper()
+	type batchMap map[string][]string
+	per := make(map[ids.ProcessID]batchMap)
+	for pid, rec := range w.ups {
+		m := make(batchMap)
+		var cur ids.ViewID
+		var batch []string
+		for _, e := range rec.log[lwg] {
+			switch e.kind {
+			case "view":
+				if e.view.ID == cur {
+					continue
+				}
+				if !cur.IsZero() {
+					key := cur.String() + "->" + e.view.ID.String()
+					m[key] = append([]string{}, batch...)
+				}
+				batch = nil
+				cur = e.view.ID
+			case "data":
+				batch = append(batch, fmt.Sprintf("%v:%s", e.src, e.data))
+			}
+		}
+		per[pid] = m
+	}
+	for p, mp := range per {
+		for q, mq := range per {
+			if p >= q {
+				continue
+			}
+			for key, dp := range mp {
+				dq, ok := mq[key]
+				if !ok {
+					continue
+				}
+				if len(dp) != len(dq) {
+					t.Errorf("%s view synchrony violated %s: %v delivered %d, %v delivered %d",
+						lwg, key, p, len(dp), q, len(dq))
+					continue
+				}
+				diff := make(map[string]int)
+				for _, d := range dp {
+					diff[d]++
+				}
+				for _, d := range dq {
+					diff[d]--
+				}
+				for d, n := range diff {
+					if n != 0 {
+						t.Errorf("%s view synchrony violated %s: %q differs between %v and %v",
+							lwg, key, d, p, q)
+					}
+				}
+			}
+		}
+	}
+}
+
+func tail(w *cWorld, n int) string {
+	evs := w.tracer.Events
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	out := ""
+	for _, e := range evs {
+		out += e.String() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,404 @@
+// Package core implements the paper's primary contribution: a
+// transparent, dynamic light-weight group (LWG) service that operates in
+// partitionable networks.
+//
+// Each process runs an Endpoint stacked on the heavy-weight group (HWG)
+// substrate (internal/vsync) and a naming-service client
+// (internal/naming). The endpoint:
+//
+//   - preserves the virtually synchronous interface for LWG users: Join,
+//     Leave, Send downcalls; View and Data upcalls (Stop/StopOk are
+//     handled internally, as the paper permits for upper layers);
+//   - maps LWGs onto a shared pool of HWGs, creating, collapsing and
+//     shrinking HWGs according to the Figure 1 heuristics;
+//   - switches LWGs between HWGs at run time (the switching protocol);
+//   - reconciles after partitions heal through the four steps of
+//     Section 6: naming-service callbacks (global peer discovery),
+//     highest-gid mapping reconciliation, HWG-local peer discovery, and
+//     the MERGE-VIEWS protocol of Figure 5.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"plwg/internal/ids"
+	"plwg/internal/naming"
+	"plwg/internal/netsim"
+	"plwg/internal/policy"
+	"plwg/internal/sim"
+	"plwg/internal/trace"
+	"plwg/internal/vsync"
+)
+
+// Upcalls is implemented by the LWG user (the application).
+type Upcalls interface {
+	// View reports a new view of a light-weight group the process is a
+	// member of.
+	View(lwg ids.LWGID, view ids.View)
+	// Data delivers a light-weight group multicast.
+	Data(lwg ids.LWGID, src ids.ProcessID, data []byte)
+}
+
+// StateHandler is optionally implemented by Upcalls to transfer
+// application state to joining members (the classic virtual-synchrony
+// state-transfer facility). When the coordinator admits joiners, it
+// snapshots the group state after the admission flush — so the snapshot
+// reflects exactly the messages delivered in the old view — and the
+// joiners receive it through InstallState before their first View and
+// Data upcalls in the group.
+//
+// State transfer covers joins only. When concurrent views merge after a
+// partition, every member keeps its own state: reconciling divergent
+// application states is application-specific (use convergent state, or
+// re-synchronize on the post-merge View upcall).
+type StateHandler interface {
+	// SnapshotState returns the group's application state; called at
+	// the admitting coordinator. A nil return transfers nothing.
+	SnapshotState(lwg ids.LWGID) []byte
+	// InstallState delivers the snapshot at a joiner.
+	InstallState(lwg ids.LWGID, state []byte)
+}
+
+// Errors returned by the downcalls.
+var (
+	ErrAlreadyMember = errors.New("core: already a member of the light-weight group")
+	ErrNotMember     = errors.New("core: not a member of the light-weight group")
+)
+
+// Config holds the light-weight group service timers and policy
+// parameters.
+type Config struct {
+	// PolicyInterval is the period of the mapping-heuristics pass. The
+	// paper's prototype ran it once a minute; benchmarks shorten it.
+	PolicyInterval time.Duration
+	// Policy holds the Figure 1 parameters (k_m, k_c).
+	Policy policy.Params
+	// LwgFlushTimeout bounds a LWG-level flush round.
+	LwgFlushTimeout time.Duration
+	// JoinRetryInterval is the period of LWG join request retries.
+	JoinRetryInterval time.Duration
+	// LwgJoinTimeout is how long a joiner waits for an existing LWG view
+	// before forming its own.
+	LwgJoinTimeout time.Duration
+	// SwitchRetryInterval re-announces switch instructions until every
+	// member has re-bound.
+	SwitchRetryInterval time.Duration
+	// NSRetryInterval is the retry period for naming-service operations.
+	NSRetryInterval time.Duration
+	// ShrinkAfter is how long a process tolerates membership of a HWG
+	// with no local LWG mapped on it before leaving (the shrink rule).
+	ShrinkAfter time.Duration
+	// ReconcileToLowest inverts the Section 6.2 rule: conflicting
+	// mappings reconcile onto the LOWEST heavy-weight group identifier
+	// instead of the highest. Any total order works as long as everyone
+	// applies the same one; this is an ablation switch.
+	ReconcileToLowest bool
+	// MappingRefreshInterval is how often a LWG view's coordinator
+	// refreshes its mapping lease in the naming service. Must be well
+	// below naming.Config.MappingTTL.
+	MappingRefreshInterval time.Duration
+}
+
+// DefaultConfig returns timers sized for the simulated testbed. The
+// policy interval defaults to the paper's one minute.
+func DefaultConfig() Config {
+	return Config{
+		PolicyInterval:      time.Minute,
+		Policy:              policy.DefaultParams(),
+		LwgFlushTimeout:     400 * time.Millisecond,
+		JoinRetryInterval:   200 * time.Millisecond,
+		LwgJoinTimeout:      700 * time.Millisecond,
+		SwitchRetryInterval: 250 * time.Millisecond,
+		NSRetryInterval:     250 * time.Millisecond,
+		ShrinkAfter:         2 * time.Second,
+
+		MappingRefreshInterval: 15 * time.Second,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.PolicyInterval <= 0 {
+		c.PolicyInterval = d.PolicyInterval
+	}
+	if c.LwgFlushTimeout <= 0 {
+		c.LwgFlushTimeout = d.LwgFlushTimeout
+	}
+	if c.JoinRetryInterval <= 0 {
+		c.JoinRetryInterval = d.JoinRetryInterval
+	}
+	if c.LwgJoinTimeout <= 0 {
+		c.LwgJoinTimeout = d.LwgJoinTimeout
+	}
+	if c.SwitchRetryInterval <= 0 {
+		c.SwitchRetryInterval = d.SwitchRetryInterval
+	}
+	if c.NSRetryInterval <= 0 {
+		c.NSRetryInterval = d.NSRetryInterval
+	}
+	if c.ShrinkAfter <= 0 {
+		c.ShrinkAfter = d.ShrinkAfter
+	}
+	if c.MappingRefreshInterval <= 0 {
+		c.MappingRefreshInterval = d.MappingRefreshInterval
+	}
+	return c
+}
+
+// Params bundles the dependencies of an Endpoint.
+type Params struct {
+	Net netsim.Transport
+	PID ids.ProcessID
+	// Servers lists the naming-server nodes.
+	Servers []ids.ProcessID
+	Config  Config
+	Vsync   vsync.Config
+	Naming  naming.Config
+	Upcalls Upcalls
+	Tracer  trace.Tracer
+}
+
+// Endpoint is one process's light-weight group service instance.
+type Endpoint struct {
+	pid    ids.ProcessID
+	net    netsim.Transport
+	clock  *sim.Sim
+	cfg    Config
+	up     Upcalls
+	tracer trace.Tracer
+
+	hwg *vsync.Stack
+	ns  *naming.Client
+
+	lwgs map[ids.LWGID]*lwgMember
+	hwgs map[ids.HWGID]*hwgState
+
+	// lwgSeq holds this process's per-LWG view counters (for
+	// coordinator-minted views).
+	lwgSeq map[ids.LWGID]uint64
+	// verSeq versions this process's naming-service writes.
+	verSeq uint64
+	// hwgCounter allocates fresh heavy-weight group identifiers.
+	hwgCounter int64
+
+	policyTicker  *sim.Ticker
+	refreshTicker *sim.Ticker
+}
+
+// hwgState is the endpoint's per-HWG bookkeeping.
+type hwgState struct {
+	gid ids.HWGID
+	// view is the current HWG view (zero until the first View upcall).
+	view ids.View
+	// stopped is set between the HWG Stop upcall and the next view.
+	stopped bool
+	// local is the set of local LWGs mapped on this HWG.
+	local map[ids.LWGID]bool
+	// known is AV_p(hwg) from Figure 5: every LWG view known to be
+	// mapped on this HWG, filled by announcements and the MERGE-VIEWS
+	// exchange.
+	known map[ids.LWGID]map[ids.ViewID]viewRecord
+	// forward holds forward pointers for LWGs switched off this HWG.
+	forward map[ids.LWGID]ids.HWGID
+	// mergePending dedupes MERGE-VIEWS triggers until the next view.
+	mergePending bool
+	// emptySince records when the HWG last had no local LWGs (for the
+	// shrink rule); zero while it has some.
+	emptySince sim.Time
+}
+
+// New creates a light-weight group service endpoint and registers its
+// protocol handlers on the mux.
+func New(p Params, mux *netsim.Mux) *Endpoint {
+	tr := p.Tracer
+	if tr == nil {
+		tr = trace.Nop{}
+	}
+	e := &Endpoint{
+		pid:    p.PID,
+		net:    p.Net,
+		clock:  p.Net.Sim(),
+		cfg:    p.Config.withDefaults(),
+		up:     p.Upcalls,
+		tracer: tr,
+		lwgs:   make(map[ids.LWGID]*lwgMember),
+		hwgs:   make(map[ids.HWGID]*hwgState),
+		lwgSeq: make(map[ids.LWGID]uint64),
+	}
+	e.hwg = vsync.NewStack(vsync.Params{
+		Net:     p.Net,
+		PID:     p.PID,
+		Config:  p.Vsync,
+		Upcalls: (*hwgUpcalls)(e),
+		Tracer:  tr,
+	})
+	e.ns = naming.NewClient(naming.ClientParams{
+		Net:     p.Net,
+		PID:     p.PID,
+		Servers: p.Servers,
+		Config:  p.Naming,
+	})
+	mux.Handle(vsync.AddrPrefix, e.hwg.HandleMessage)
+	mux.Handle(naming.ClientPrefix, e.ns.HandleMessage)
+	mux.Handle(naming.CallbackPrefix, e.handleNamingCallback)
+	e.policyTicker = e.clock.Every(e.cfg.PolicyInterval, e.runPolicy)
+	e.refreshTicker = e.clock.Every(e.cfg.MappingRefreshInterval, e.refreshMappings)
+	return e
+}
+
+// refreshMappings renews the naming-service lease of every mapping this
+// process is responsible for (it coordinates the LWG view). Iteration is
+// in sorted group order: message emission must be deterministic.
+func (e *Endpoint) refreshMappings() {
+	for _, l := range e.LWGs() {
+		m := e.lwgs[l]
+		if m.state == lwgActive && m.isCoordinator() {
+			e.updateMapping(m)
+		}
+	}
+}
+
+// PID returns the process identifier.
+func (e *Endpoint) PID() ids.ProcessID { return e.pid }
+
+// HWGStack exposes the underlying heavy-weight group stack (read-only
+// introspection for tests and tools).
+func (e *Endpoint) HWGStack() *vsync.Stack { return e.hwg }
+
+// NamingClient exposes the endpoint's naming client.
+func (e *Endpoint) NamingClient() *naming.Client { return e.ns }
+
+// LWGView returns the process's current view of the light-weight group.
+func (e *Endpoint) LWGView(lwg ids.LWGID) (ids.View, bool) {
+	m, ok := e.lwgs[lwg]
+	if !ok || m.state != lwgActive && m.state != lwgStopped && m.state != lwgSwitching {
+		return ids.View{}, false
+	}
+	return m.view.Clone(), true
+}
+
+// Mapping returns the heavy-weight group the process's view of the LWG is
+// mapped on.
+func (e *Endpoint) Mapping(lwg ids.LWGID) (ids.HWGID, bool) {
+	m, ok := e.lwgs[lwg]
+	if !ok || m.hwg == ids.NoHWG {
+		return ids.NoHWG, false
+	}
+	return m.hwg, true
+}
+
+// LWGs returns the light-weight groups this process is a member of, in
+// sorted order.
+func (e *Endpoint) LWGs() []ids.LWGID {
+	out := make([]ids.LWGID, 0, len(e.lwgs))
+	for l := range e.lwgs {
+		out = append(out, l)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// HWGs returns the heavy-weight groups this process is currently a member
+// of (through the vsync stack).
+func (e *Endpoint) HWGs() []ids.HWGID { return e.hwg.Groups() }
+
+// IsLWGCoordinator reports whether this process coordinates its current
+// view of the group (smallest member).
+func (e *Endpoint) IsLWGCoordinator(lwg ids.LWGID) bool {
+	m, ok := e.lwgs[lwg]
+	return ok && len(m.view.Members) > 0 && m.view.Coordinator() == e.pid
+}
+
+// RunPolicyNow runs one mapping-heuristics pass immediately (exposed for
+// tests and benchmarks; production relies on the periodic timer).
+func (e *Endpoint) RunPolicyNow() { e.runPolicy() }
+
+// Stop cancels the endpoint's timers (the network node keeps existing).
+func (e *Endpoint) Stop() {
+	if e.policyTicker != nil {
+		e.policyTicker.Stop()
+		e.policyTicker = nil
+	}
+	if e.refreshTicker != nil {
+		e.refreshTicker.Stop()
+		e.refreshTicker = nil
+	}
+	for _, m := range e.lwgs {
+		m.stopTimers()
+	}
+}
+
+func (e *Endpoint) nextLwgSeq(lwg ids.LWGID) uint64 {
+	e.lwgSeq[lwg]++
+	return e.lwgSeq[lwg]
+}
+
+func (e *Endpoint) observeLwgView(lwg ids.LWGID, v ids.ViewID) {
+	if v.Coord == e.pid && v.Seq&groupMintedBit == 0 && e.lwgSeq[lwg] < v.Seq {
+		e.lwgSeq[lwg] = v.Seq
+	}
+}
+
+func (e *Endpoint) nextVer() uint64 {
+	e.verSeq++
+	return e.verSeq
+}
+
+// allocHWGID mints a fresh heavy-weight group identifier: globally unique
+// (counter ⊕ pid) and roughly increasing over time, so later groups win
+// the highest-gid tie-breaks.
+func (e *Endpoint) allocHWGID() ids.HWGID {
+	e.hwgCounter++
+	return ids.HWGID(e.hwgCounter<<16 | int64(e.pid)&0xffff + 1)
+}
+
+func (e *Endpoint) hwgState(gid ids.HWGID) *hwgState {
+	st := e.hwgs[gid]
+	if st == nil {
+		st = &hwgState{
+			gid:     gid,
+			local:   make(map[ids.LWGID]bool),
+			known:   make(map[ids.LWGID]map[ids.ViewID]viewRecord),
+			forward: make(map[ids.LWGID]ids.HWGID),
+		}
+		e.hwgs[gid] = st
+	}
+	return st
+}
+
+func (e *Endpoint) trace(what, format string, args ...any) {
+	e.tracer.Trace(trace.Event{
+		At:    e.clock.Now(),
+		Node:  e.pid,
+		Layer: "lwg",
+		What:  what,
+		Text:  fmt.Sprintf(format, args...),
+	})
+}
+
+// hwgUpcalls adapts Endpoint to vsync.Upcalls without exporting the
+// methods on Endpoint itself.
+type hwgUpcalls Endpoint
+
+var _ vsync.Upcalls = (*hwgUpcalls)(nil)
+
+// View implements vsync.Upcalls.
+func (u *hwgUpcalls) View(gid ids.HWGID, view ids.View) {
+	(*Endpoint)(u).onHWGView(gid, view)
+}
+
+// Data implements vsync.Upcalls.
+func (u *hwgUpcalls) Data(gid ids.HWGID, src ids.ProcessID, payload vsync.Payload) {
+	(*Endpoint)(u).onHWGData(gid, src, payload)
+}
+
+// Stop implements vsync.Upcalls.
+func (u *hwgUpcalls) Stop(gid ids.HWGID) {
+	(*Endpoint)(u).onHWGStop(gid)
+}

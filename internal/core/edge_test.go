@@ -1,0 +1,283 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"plwg/internal/ids"
+	"plwg/internal/netsim"
+)
+
+func TestPhantomMemberRepudiation(t *testing.T) {
+	// A view claims a process that has no state for the group (the
+	// aftermath of a leave lost to a partition): the phantom must
+	// repudiate, and the exclusion flush must complete even though the
+	// phantom cannot answer a normal member flush.
+	w := newCWorld(t, 4, []ids.ProcessID{0}, testCfg())
+	for _, p := range []ids.ProcessID{1, 2} {
+		if err := w.eps[p].Join("g"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.run(3 * time.Second)
+	v, hwg := w.requireLWG("g", 1, 2)
+
+	// Forge the post-merge situation: announce a view of g that claims
+	// p3, which has no state for g. (In production this record comes
+	// out of a merge with a pre-leave concurrent view.)
+	m := w.eps[1].lwgs["g"]
+	forged := viewRecord{
+		LWG: "g",
+		View: ids.View{
+			ID:      ids.ViewID{Coord: 1, Seq: v.ID.Seq + 1000},
+			Members: ids.NewMembers(1, 2, 3),
+		},
+		Ancestors: append(append(ids.ViewIDs{}, m.ancestors...), v.ID),
+	}
+	// p3 must be a member of the HWG to even hear about it.
+	if err := w.eps[3].hwg.Join(hwg); err != nil {
+		t.Fatal(err)
+	}
+	w.run(2 * time.Second)
+	_ = w.eps[1].hwg.Send(hwg, &lwgView{Rec: forged, HWG: hwg})
+	w.run(5 * time.Second)
+
+	// The phantom repudiated and the group settled without it.
+	final, _ := w.eps[1].LWGView("g")
+	if final.Members.Contains(3) {
+		t.Fatalf("phantom p3 still in view %v\ntrace:\n%s", final, w.tracer.Dump())
+	}
+	if !final.Members.Equal(ids.NewMembers(1, 2)) {
+		t.Fatalf("final members = %v, want {p1,p2}", final.Members)
+	}
+	if len(w.tracer.Filter("lwg", "repudiate")) == 0 {
+		t.Fatal("no repudiation event recorded")
+	}
+}
+
+func TestRejoinAfterLeave(t *testing.T) {
+	w := newCWorld(t, 3, []ids.ProcessID{0}, testCfg())
+	for _, p := range []ids.ProcessID{1, 2} {
+		if err := w.eps[p].Join("a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.run(3 * time.Second)
+	if err := w.eps[2].Leave("a"); err != nil {
+		t.Fatal(err)
+	}
+	w.run(2 * time.Second)
+	if err := w.eps[2].Join("a"); err != nil {
+		t.Fatal(err)
+	}
+	w.run(3 * time.Second)
+	w.requireLWG("a", 1, 2)
+}
+
+func TestThreeWayPartitionedCreation(t *testing.T) {
+	// The LWG is created independently in THREE partitions, producing
+	// three conflicting mappings; reconciliation must still converge to
+	// the highest-gid HWG and a single merged view.
+	w := newCWorld(t, 9, []ids.ProcessID{0, 3, 6}, testCfg())
+	w.nw.SetPartitions(
+		[]netsim.NodeID{0, 1, 2},
+		[]netsim.NodeID{3, 4, 5},
+		[]netsim.NodeID{6, 7, 8},
+	)
+	for _, p := range []ids.ProcessID{1, 4, 7} {
+		if err := w.eps[p].Join("a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.run(4 * time.Second)
+	h1, _ := w.eps[1].Mapping("a")
+	h4, _ := w.eps[4].Mapping("a")
+	h7, _ := w.eps[7].Mapping("a")
+	if h1 == h4 || h4 == h7 || h1 == h7 {
+		t.Fatalf("expected three distinct mappings, got %v %v %v", h1, h4, h7)
+	}
+	want := h1
+	if h4 > want {
+		want = h4
+	}
+	if h7 > want {
+		want = h7
+	}
+
+	w.nw.Heal()
+	w.run(15 * time.Second)
+	_, hwg := w.requireLWG("a", 1, 4, 7)
+	if hwg != want {
+		t.Errorf("reconciled onto %v, want highest gid %v", hwg, want)
+	}
+	for _, srv := range w.servers {
+		if live := srv.DB().Live("a"); len(live) != 1 {
+			t.Errorf("server %v: %d live mappings:\n%s", srv.PID(), len(live), srv.DB().Dump())
+		}
+	}
+}
+
+func TestSendsBufferedDuringSwitch(t *testing.T) {
+	// Messages sent while the group is switching HWGs must be delivered
+	// once the switch completes.
+	w := newCWorld(t, 10, []ids.ProcessID{0}, testCfg())
+	var big []ids.ProcessID
+	for i := 1; i <= 8; i++ {
+		big = append(big, ids.ProcessID(i))
+	}
+	for _, p := range big {
+		if err := w.eps[p].Join("big"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.run(6 * time.Second)
+	for _, p := range []ids.ProcessID{1, 2} {
+		if err := w.eps[p].Join("small"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.run(4 * time.Second)
+	hBig, _ := w.eps[1].Mapping("big")
+	hSmall, _ := w.eps[1].Mapping("small")
+	if hBig != hSmall {
+		t.Skip("creation did not co-locate; nothing to switch")
+	}
+	// Trigger the interference switch, then send immediately: the
+	// message rides out the switch in the buffer.
+	w.runPolicyEverywhere()
+	w.run(50 * time.Millisecond)
+	if err := w.eps[1].Send("small", []byte("through-the-switch")); err != nil {
+		t.Fatal(err)
+	}
+	w.run(5 * time.Second)
+	found := false
+	for _, e := range w.ups[2].log["small"] {
+		if e.kind == "data" && e.data == "through-the-switch" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("message lost across the switch\ntrace:\n%s", w.tracer.Dump())
+	}
+	h2, _ := w.eps[1].Mapping("small")
+	if h2 == hBig {
+		t.Fatal("switch did not happen; test vacuous")
+	}
+}
+
+func TestSwitchDuringPartitionThenHeal(t *testing.T) {
+	// One side switches the LWG onto a new HWG while partitioned; the
+	// other side keeps the old mapping. After the heal the mappings
+	// conflict and reconcile.
+	w := newCWorld(t, 8, []ids.ProcessID{0, 4}, testCfg())
+	for _, p := range []ids.ProcessID{1, 2, 5, 6} {
+		if err := w.eps[p].Join("a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.run(5 * time.Second)
+	w.requireLWG("a", 1, 2, 5, 6)
+	w.nw.SetPartitions([]netsim.NodeID{0, 1, 2, 3}, []netsim.NodeID{4, 5, 6, 7})
+	w.run(4 * time.Second)
+
+	// Side A's coordinator switches its view to a fresh HWG while cut
+	// off (exercising switch-under-partition).
+	oldHwg, _ := w.eps[1].Mapping("a")
+	m := w.eps[1].lwgs["a"]
+	if m == nil || !m.isCoordinator() {
+		t.Fatal("p1 should coordinate side A's view")
+	}
+	target := w.eps[1].allocHWGID()
+	m.startSwitch(target, true)
+	w.run(4 * time.Second)
+	newHwg, _ := w.eps[1].Mapping("a")
+	if newHwg == oldHwg {
+		t.Fatalf("switch did not complete under partition (still %v)", oldHwg)
+	}
+
+	w.nw.Heal()
+	w.run(15 * time.Second)
+	_, hwg := w.requireLWG("a", 1, 2, 5, 6)
+	want := newHwg
+	if oldHwg > want {
+		want = oldHwg
+	}
+	if hwg != want {
+		t.Errorf("reconciled onto %v, want %v", hwg, want)
+	}
+}
+
+func TestSoleMemberPartitionDance(t *testing.T) {
+	// A single-member group bounces through partitions: nothing to
+	// merge, but the mapping must stay unique and the view stable.
+	w := newCWorld(t, 4, []ids.ProcessID{0}, testCfg())
+	if err := w.eps[1].Join("solo"); err != nil {
+		t.Fatal(err)
+	}
+	w.run(2 * time.Second)
+	v1 := w.lwgView(1, "solo")
+	for i := 0; i < 3; i++ {
+		w.nw.SetPartitions([]netsim.NodeID{0, 2, 3}, []netsim.NodeID{1})
+		w.run(2 * time.Second)
+		w.nw.Heal()
+		w.run(2 * time.Second)
+	}
+	v2 := w.lwgView(1, "solo")
+	if !v2.Members.Equal(ids.NewMembers(1)) {
+		t.Fatalf("solo view = %v", v2)
+	}
+	_ = v1 // the identifier may change with HWG churn; membership must not
+	if got := w.servers[0].DB().Live("solo"); len(got) != 1 {
+		t.Errorf("naming has %d live mappings:\n%s", len(got), w.servers[0].DB().Dump())
+	}
+}
+
+func TestNamingServerCrashFailover(t *testing.T) {
+	// The primary naming server crashes; the service keeps working via
+	// the replica (including creation of new groups).
+	w := newCWorld(t, 6, []ids.ProcessID{0, 3}, testCfg())
+	if err := w.eps[1].Join("a"); err != nil {
+		t.Fatal(err)
+	}
+	w.run(3 * time.Second)
+	w.nw.Crash(0)
+	if err := w.eps[2].Join("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.eps[4].Join("b"); err != nil {
+		t.Fatal(err)
+	}
+	w.run(6 * time.Second)
+	w.requireLWG("a", 1, 2)
+	w.requireLWG("b", 4)
+}
+
+func TestOverlappingGroupsPolicyStability(t *testing.T) {
+	// Overlapping (not identical) memberships: the hysteresis must keep
+	// mappings stable — repeated policy passes cause no switches.
+	w := newCWorld(t, 6, []ids.ProcessID{0}, testCfg())
+	// g1 {1,2,3,4}; g2 {2,3,4,5}: 75% overlap.
+	for _, p := range []ids.ProcessID{1, 2, 3, 4} {
+		if err := w.eps[p].Join("g1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.run(4 * time.Second)
+	for _, p := range []ids.ProcessID{2, 3, 4, 5} {
+		if err := w.eps[p].Join("g2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.run(4 * time.Second)
+	before := len(w.tracer.Filter("lwg", "switch"))
+	for pass := 0; pass < 3; pass++ {
+		w.runPolicyEverywhere()
+		w.run(2 * time.Second)
+	}
+	after := len(w.tracer.Filter("lwg", "switch"))
+	if after != before {
+		t.Errorf("policy thrashing: %d switch events from stable overlap", after-before)
+	}
+	w.requireLWG("g1", 1, 2, 3, 4)
+	w.requireLWG("g2", 2, 3, 4, 5)
+}

@@ -1,0 +1,645 @@
+package core
+
+import (
+	"sort"
+
+	"plwg/internal/ids"
+	"plwg/internal/naming"
+	"plwg/internal/netsim"
+	"plwg/internal/vsync"
+)
+
+// This file implements the partition-reconciliation machinery of
+// Sections 4 and 6:
+//
+//	Step 1 — global peer discovery: MULTIPLE-MAPPINGS callbacks from the
+//	         naming service (handleNamingCallback).
+//	Step 2 — mapping reconciliation: concurrent LWG views switch to the
+//	         HWG with the highest identifier (the switching protocol).
+//	Step 3 — local peer discovery: view-tagged DATA and announcement
+//	         messages expose concurrent LWG views sharing a HWG.
+//	Step 4 — merge-views (Figure 5): one forced HWG flush merges all
+//	         concurrent views of all LWGs mapped on the HWG at once.
+
+// --- HWG upcalls -----------------------------------------------------------
+
+func (e *Endpoint) onHWGStop(gid ids.HWGID) {
+	st := e.hwgState(gid)
+	st.stopped = true
+	// The LWG layer quiesces by buffering its sends (Send checks
+	// st.stopped), so it can acknowledge immediately.
+	_ = e.hwg.StopOk(gid)
+}
+
+func (e *Endpoint) onHWGView(gid ids.HWGID, view ids.View) {
+	st := e.hwgState(gid)
+	st.view = view
+	st.stopped = false
+
+	// Progress joins and founders waiting for this HWG's view (sorted
+	// iteration: message emission must be deterministic).
+	for _, l := range e.LWGs() {
+		m := e.lwgs[l]
+		if m.hwg != gid {
+			continue
+		}
+		switch m.state {
+		case lwgJoining:
+			m.maybeFound()
+			m.sendJoinReq()
+		}
+	}
+
+	// Reconcile every LWG known on this HWG: trim views to the surviving
+	// members and merge concurrent views whose records were exchanged
+	// (Figure 5 line 114: "when the hwg is flushed ... merge all
+	// concurrent views in AV_p(hwg)").
+	e.reconcileLWGs(st)
+	st.mergePending = false
+
+	// Local peer discovery seed: advertise our LWG views so concurrent
+	// views meeting in this HWG view find each other even without data
+	// traffic.
+	e.announceLocal(st)
+
+	// Members switching onto this HWG can now report readiness.
+	for _, l := range e.LWGs() {
+		m := e.lwgs[l]
+		if m.state == lwgSwitching && m.switchTarget == gid {
+			m.sendSwitchReady()
+		}
+	}
+
+	// Buffered sends of LWGs on this HWG can flow again.
+	for _, l := range e.LWGs() {
+		if st.local[l] {
+			if m := e.lwgs[l]; m != nil {
+				m.drainSends()
+			}
+		}
+	}
+}
+
+func (e *Endpoint) onHWGData(gid ids.HWGID, src ids.ProcessID, payload vsync.Payload) {
+	st := e.hwgState(gid)
+	switch msg := payload.(type) {
+	case *lwgData:
+		e.onLwgData(st, src, msg)
+	case *lwgJoinReq:
+		e.onLwgJoinReq(st, msg)
+	case *lwgLeaveReq:
+		if m := e.memberOn(msg.LWG, gid); m != nil {
+			m.onLeaveReq(msg.From)
+		}
+	case *lwgMoved:
+		e.onLwgMoved(st, msg)
+	case *lwgStop:
+		if m := e.memberOn(msg.LWG, gid); m != nil {
+			m.onStop(msg)
+		} else {
+			// No state for this LWG: we may be a phantom member being
+			// flushed out after our leave was lost to a partition
+			// (see maybeRepudiate). Answer so the exclusion flush can
+			// complete; we have nothing to quiesce.
+			_ = e.hwg.Send(gid, &lwgFlushOk{LWG: msg.LWG, View: msg.View, From: e.pid})
+		}
+	case *lwgFlushOk:
+		if m := e.memberOn(msg.LWG, gid); m != nil {
+			m.onFlushOk(msg.From, msg)
+		}
+	case *lwgView:
+		e.onLwgView(st, msg)
+	case *lwgAnnounce:
+		for _, rec := range msg.Views {
+			e.onViewRecord(st, rec)
+		}
+	case *lwgMergeViews:
+		e.onMergeViews(st)
+	case *lwgMappedViews:
+		for _, rec := range msg.Views {
+			e.recordKnown(st, rec)
+			e.observeLwgView(rec.LWG, rec.View.ID)
+		}
+	case *lwgSwitch:
+		e.onLwgSwitch(st, msg)
+	case *lwgSwitchReady:
+		e.onSwitchReady(st, msg)
+	}
+}
+
+// memberOn returns the local LWG member if it is mapped on the HWG.
+func (e *Endpoint) memberOn(lwg ids.LWGID, gid ids.HWGID) *lwgMember {
+	m := e.lwgs[lwg]
+	if m == nil || m.hwg != gid {
+		return nil
+	}
+	return m
+}
+
+// --- data path and local peer discovery (Step 3, Figure 5) -----------------
+
+func (e *Endpoint) onLwgData(st *hwgState, src ids.ProcessID, msg *lwgData) {
+	m := e.memberOn(msg.LWG, st.gid)
+	if m == nil {
+		return // no local member: filtered out (the interference cost)
+	}
+	switch {
+	case msg.View == m.view.ID:
+		// Figure 5 line 104: the message was sent in our view.
+		if e.up != nil {
+			e.up.Data(msg.LWG, src, msg.Data)
+		}
+	case m.ancestors.Contains(msg.View):
+		// Sent in a view we have since superseded: drop.
+	default:
+		// Figure 5 line 106: a concurrent view of our LWG shares this
+		// HWG — trigger the merge.
+		e.triggerMergeViews(st)
+	}
+}
+
+// onLwgJoinReq handles an admission request: forward pointers redirect
+// joiners of moved LWGs; the LWG coordinator admits the rest.
+func (e *Endpoint) onLwgJoinReq(st *hwgState, msg *lwgJoinReq) {
+	if target, moved := st.forward[msg.LWG]; moved {
+		// Only one member answers to keep the bus quiet.
+		if !st.view.ID.IsZero() && st.view.Coordinator() == e.pid {
+			_ = e.hwg.Send(st.gid, &lwgMoved{LWG: msg.LWG, Target: target})
+		}
+		return
+	}
+	if m := e.memberOn(msg.LWG, st.gid); m != nil {
+		m.onJoinReq(msg.From)
+	}
+}
+
+func (e *Endpoint) onLwgMoved(st *hwgState, msg *lwgMoved) {
+	m := e.memberOn(msg.LWG, st.gid)
+	if m == nil || m.state != lwgJoining {
+		return
+	}
+	e.trace("join", "%s: forwarded from %v to %v", msg.LWG, st.gid, msg.Target)
+	m.stopTimers()
+	m.targetHWG(msg.Target)
+}
+
+// onLwgView handles a view announcement: admission of joiners, switch
+// re-binding, catch-up, and concurrency detection.
+func (e *Endpoint) onLwgView(st *hwgState, msg *lwgView) {
+	rec := msg.Rec
+	e.observeLwgView(rec.LWG, rec.View.ID)
+	m := e.lwgs[rec.LWG]
+	if m == nil {
+		e.recordKnown(st, rec)
+		e.maybeRepudiate(st, rec)
+		return
+	}
+	// Joiner admitted into an existing view on the HWG it targeted. A
+	// state snapshot, if present, is installed before the first View
+	// upcall.
+	if m.state == lwgJoining && m.hwg == st.gid && rec.View.Contains(e.pid) {
+		if msg.HasState && e.up != nil {
+			if sh, ok := e.up.(StateHandler); ok {
+				sh.InstallState(rec.LWG, msg.State)
+			}
+		}
+		m.installView(rec, st.gid)
+		return
+	}
+	// Switch re-binding: same view, new HWG (the lwgView was multicast on
+	// the target).
+	if m.state == lwgSwitching && msg.HWG == st.gid && rec.View.ID == m.view.ID {
+		e.trace("switch", "%s: re-bound to %v", rec.LWG, st.gid)
+		m.installView(rec, st.gid)
+		return
+	}
+	if m.hwg != st.gid {
+		e.recordKnown(st, rec)
+		return
+	}
+	e.onViewRecord(st, rec)
+}
+
+// onViewRecord folds one remote view record into local state: catch-up,
+// supersession, or concurrency detection.
+func (e *Endpoint) onViewRecord(st *hwgState, rec viewRecord) {
+	e.recordKnown(st, rec)
+	e.observeLwgView(rec.LWG, rec.View.ID)
+	e.maybeRepudiate(st, rec)
+	m := e.memberOn(rec.LWG, st.gid)
+	if m == nil || m.state == lwgResolving || m.state == lwgJoining {
+		return
+	}
+	switch {
+	case rec.View.ID == m.view.ID:
+		// Our own view echoed back.
+	case rec.Ancestors.Contains(m.view.ID):
+		// A successor of our view exists.
+		if rec.View.Contains(e.pid) {
+			e.trace("lwg-view", "%s: catching up to %v", rec.LWG, rec.View.ID)
+			m.installView(rec, st.gid)
+		} else if m.leaveRequested {
+			e.dropLwg(rec.LWG)
+		} else {
+			// Superseded without us (we were presumed gone): continue
+			// in a singleton view; reconciliation will merge us back.
+			single := viewRecord{
+				LWG: rec.LWG,
+				View: ids.View{
+					ID:      trimmedViewID(rec.LWG, m.view.ID, st.view.ID, e.pid),
+					Members: ids.NewMembers(e.pid),
+				},
+				Ancestors: append(append(ids.ViewIDs{}, m.ancestors...), m.view.ID),
+			}
+			m.installView(single, st.gid)
+		}
+	case m.ancestors.Contains(rec.View.ID):
+		// A stale echo of one of our ancestors.
+	default:
+		// Concurrent views of the same LWG on the same HWG: Step 3
+		// found a peer; run Step 4.
+		e.triggerMergeViews(st)
+	}
+}
+
+// --- merge-views protocol (Step 4, Figure 5) --------------------------------
+
+// maybeRepudiate handles phantom membership: a view claims this process
+// for a light-weight group it has no state for. This happens when a
+// leave completed on one side of a partition while the other side's view
+// (still containing the leaver) survived the merge. Light-weight
+// membership has no failure detector of its own — the leaver is alive at
+// the HWG level — so the phantom must speak up: a leave request makes
+// the view's coordinator exclude it.
+func (e *Endpoint) maybeRepudiate(st *hwgState, rec viewRecord) {
+	if !rec.View.Contains(e.pid) {
+		return
+	}
+	if _, stillMember := e.lwgs[rec.LWG]; stillMember {
+		// Real state exists (possibly mapped on another HWG, e.g. a
+		// switch in progress): not a phantom, other machinery rules.
+		return
+	}
+	e.trace("repudiate", "%s: view %v claims this process; leaving", rec.LWG, rec.View.ID)
+	_ = e.hwg.Send(st.gid, &lwgLeaveReq{LWG: rec.LWG, From: e.pid})
+}
+
+// triggerMergeViews multicasts MERGE-VIEWS once per HWG view.
+func (e *Endpoint) triggerMergeViews(st *hwgState) {
+	if st.mergePending {
+		return
+	}
+	st.mergePending = true
+	e.trace("merge-views", "trigger on %v", st.gid)
+	_ = e.hwg.Send(st.gid, &lwgMergeViews{})
+}
+
+// onMergeViews implements Figure 5 lines 108–111: every member multicasts
+// its mapped views; the HWG coordinator forces the flush (and ignores
+// further MERGE-VIEWS until the new view, which vsync does naturally).
+func (e *Endpoint) onMergeViews(st *hwgState) {
+	st.mergePending = true
+	var views []viewRecord
+	for l := range st.local {
+		if m := e.lwgs[l]; m != nil {
+			views = append(views, viewRecord{
+				LWG: l, View: m.view.Clone(), Ancestors: append(ids.ViewIDs{}, m.ancestors...),
+			})
+		}
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i].LWG < views[j].LWG })
+	_ = e.hwg.Send(st.gid, &lwgMappedViews{Views: views})
+	if e.hwg.IsCoordinator(st.gid) {
+		_ = e.hwg.Flush(st.gid)
+	}
+}
+
+// reconcileLWGs runs at every HWG view installation: it trims every known
+// LWG view to the members that survive in the new HWG view, drops records
+// superseded by descendants, merges concurrent views (deterministically —
+// all members that completed the flush share the same AV set and compute
+// the identical merged view), installs the result locally, and has the
+// LWG coordinator update the naming service.
+func (e *Endpoint) reconcileLWGs(st *hwgState) {
+	names := make([]ids.LWGID, 0, len(st.known)+len(st.local))
+	seen := make(map[ids.LWGID]bool)
+	for l := range st.known {
+		if !seen[l] {
+			names = append(names, l)
+			seen[l] = true
+		}
+	}
+	for l := range st.local {
+		if !seen[l] {
+			names = append(names, l)
+			seen[l] = true
+		}
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+
+	for _, lwg := range names {
+		e.reconcileOneLWG(st, lwg)
+	}
+}
+
+func (e *Endpoint) reconcileOneLWG(st *hwgState, lwg ids.LWGID) {
+	recs := make(map[ids.ViewID]viewRecord, len(st.known[lwg]))
+	for id, r := range st.known[lwg] {
+		recs[id] = r
+	}
+	m := e.memberOn(lwg, st.gid)
+	if m != nil && (m.state == lwgActive || m.state == lwgStopped) {
+		recs[m.view.ID] = viewRecord{
+			LWG: lwg, View: m.view.Clone(), Ancestors: append(ids.ViewIDs{}, m.ancestors...),
+		}
+	}
+	if len(recs) == 0 {
+		return
+	}
+
+	// Trim every view to the members surviving in the new HWG view. The
+	// trimmed identifier is a deterministic function of (old view, HWG
+	// view), so every member mints the same one.
+	trimmed := make(map[ids.ViewID]viewRecord, len(recs))
+	for _, r := range recs {
+		survivors := r.View.Members.Intersect(st.view.Members)
+		if len(survivors) == 0 {
+			continue // nobody left on this side
+		}
+		if survivors.Equal(r.View.Members) {
+			trimmed[r.View.ID] = r
+			continue
+		}
+		nr := viewRecord{
+			LWG: lwg,
+			View: ids.View{
+				ID:      trimmedViewID(lwg, r.View.ID, st.view.ID, survivors.Min()),
+				Members: survivors,
+			},
+			Ancestors: append(append(ids.ViewIDs{}, r.Ancestors...), r.View.ID),
+		}
+		trimmed[nr.View.ID] = nr
+	}
+
+	// Drop records superseded by a descendant.
+	var survivors []viewRecord
+	for id, r := range trimmed {
+		superseded := false
+		for id2, r2 := range trimmed {
+			if id != id2 && r2.Ancestors.Contains(id) {
+				superseded = true
+				break
+			}
+		}
+		if !superseded {
+			survivors = append(survivors, r)
+		}
+	}
+	sort.Slice(survivors, func(i, j int) bool {
+		return survivors[i].View.ID.Less(survivors[j].View.ID)
+	})
+
+	var final viewRecord
+	switch {
+	case len(survivors) == 0:
+		delete(st.known, lwg)
+		return
+	case len(survivors) == 1:
+		final = survivors[0]
+	default:
+		// Merge all concurrent views into one (Figure 5 lines 114–118).
+		mergedIDs := make(ids.ViewIDs, len(survivors))
+		members := ids.Members{}
+		ancSet := make(map[ids.ViewID]bool)
+		for i, r := range survivors {
+			mergedIDs[i] = r.View.ID
+			members = members.Union(r.View.Members)
+			for _, a := range r.Ancestors {
+				ancSet[a] = true
+			}
+			ancSet[r.View.ID] = true
+		}
+		ancestors := make(ids.ViewIDs, 0, len(ancSet))
+		for a := range ancSet {
+			ancestors = append(ancestors, a)
+		}
+		ids.SortViewIDs(ancestors)
+		final = viewRecord{
+			LWG: lwg,
+			View: ids.View{
+				ID:      mergedViewID(lwg, mergedIDs, members.Min()),
+				Members: members,
+			},
+			Ancestors: ancestors,
+		}
+		e.trace("merge-views", "%s: merged %v into %v%s on %v",
+			lwg, mergedIDs, final.View.ID, final.View.Members, st.gid)
+	}
+
+	st.known[lwg] = map[ids.ViewID]viewRecord{final.View.ID: final}
+
+	if m == nil || (m.state != lwgActive && m.state != lwgStopped) {
+		return
+	}
+	switch {
+	case final.View.ID == m.view.ID:
+		// Same LWG view on a new HWG view: the coordinator refreshes the
+		// view-to-view mapping (Table 4 step 2).
+		if m.state == lwgStopped {
+			// An in-flight LWG flush died with the old HWG view.
+			m.abortLwgFlush()
+		}
+		if m.isCoordinator() {
+			e.updateMapping(m)
+		}
+	case final.View.Contains(e.pid):
+		m.installView(final, st.gid)
+	case m.leaveRequested:
+		e.dropLwg(lwg)
+	default:
+		// Not part of the surviving/merged view and not leaving: keep a
+		// singleton going (partitionable semantics).
+		single := viewRecord{
+			LWG: lwg,
+			View: ids.View{
+				ID:      trimmedViewID(lwg, m.view.ID, st.view.ID, e.pid),
+				Members: ids.NewMembers(e.pid),
+			},
+			Ancestors: append(append(ids.ViewIDs{}, m.ancestors...), m.view.ID),
+		}
+		m.installView(single, st.gid)
+	}
+}
+
+// announceLocal advertises this process's LWG views on the HWG.
+func (e *Endpoint) announceLocal(st *hwgState) {
+	var views []viewRecord
+	for l := range st.local {
+		m := e.lwgs[l]
+		if m == nil || (m.state != lwgActive && m.state != lwgStopped) {
+			continue
+		}
+		views = append(views, viewRecord{
+			LWG: l, View: m.view.Clone(), Ancestors: append(ids.ViewIDs{}, m.ancestors...),
+		})
+	}
+	if len(views) == 0 {
+		return
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i].LWG < views[j].LWG })
+	_ = e.hwg.Send(st.gid, &lwgAnnounce{Views: views})
+}
+
+// --- switching protocol (Sections 3, 6.2) -----------------------------------
+
+// startSwitch moves the LWG (this process coordinates) onto the target
+// HWG: flush the LWG, instruct members on the old HWG, collect readiness
+// on the target, then re-bind with the same LWG view.
+func (m *lwgMember) startSwitch(target ids.HWGID, fresh bool) {
+	e := m.e
+	if m.state != lwgActive || !m.isCoordinator() || target == m.hwg || target == ids.NoHWG {
+		return
+	}
+	e.trace("switch", "%s: %v -> %v", m.id, m.hwg, target)
+	if fresh && !e.hwg.IsMember(target) {
+		_ = e.hwg.Create(target)
+	}
+	m.sw = &switchRound{target: target, ready: make(map[ids.ProcessID]bool)}
+	m.startLwgFlush("switch", func() {
+		if m.sw == nil || m.sw.target != target {
+			return
+		}
+		_ = e.hwg.Send(m.hwg, &lwgSwitch{LWG: m.id, View: m.view.ID, Target: target})
+		m.beginSwitchMember(target)
+	})
+}
+
+// onLwgSwitch reacts to a switch instruction on the old HWG: members
+// follow; bystanders install the forward pointer.
+func (e *Endpoint) onLwgSwitch(st *hwgState, msg *lwgSwitch) {
+	st.forward[msg.LWG] = msg.Target
+	delete(st.known, msg.LWG)
+	m := e.memberOn(msg.LWG, st.gid)
+	if m == nil || m.view.ID != msg.View {
+		return
+	}
+	if m.state == lwgSwitching && m.switchTarget == msg.Target {
+		return
+	}
+	m.beginSwitchMember(msg.Target)
+}
+
+// beginSwitchMember is the per-member switch path: join the target HWG
+// and report readiness until re-bound.
+func (m *lwgMember) beginSwitchMember(target ids.HWGID) {
+	e := m.e
+	m.state = lwgSwitching
+	m.switchTarget = target
+	e.hwgState(target)
+	if !e.hwg.IsMember(target) {
+		_ = e.hwg.Join(target)
+	}
+	if m.switchTicker != nil {
+		m.switchTicker.Stop()
+	}
+	attempts := 0
+	m.switchTicker = e.clock.Every(e.cfg.SwitchRetryInterval, func() {
+		m.sendSwitchReady()
+		attempts++
+		if m.sw != nil && attempts >= 4 && !m.sw.sent {
+			// Stragglers will catch up through announcements; re-bind
+			// the members that are ready.
+			m.completeSwitch()
+		}
+	})
+	m.sendSwitchReady()
+}
+
+func (m *lwgMember) sendSwitchReady() {
+	if m.state != lwgSwitching || m.switchTarget == ids.NoHWG {
+		return
+	}
+	if _, ok := m.e.hwg.CurrentView(m.switchTarget); !ok {
+		return
+	}
+	_ = m.e.hwg.Send(m.switchTarget, &lwgSwitchReady{
+		LWG: m.id, View: m.view.ID, From: m.e.pid,
+	})
+}
+
+// onSwitchReady collects readiness at the coordinator (on the target
+// HWG) and answers stragglers after the switch completed.
+func (e *Endpoint) onSwitchReady(st *hwgState, msg *lwgSwitchReady) {
+	m := e.lwgs[msg.LWG]
+	if m == nil || m.view.ID != msg.View {
+		return
+	}
+	if m.hwg == st.gid && m.state == lwgActive && m.isCoordinator() {
+		// Already switched: repeat the binding for the straggler.
+		_ = e.hwg.Send(st.gid, &lwgView{
+			Rec: viewRecord{LWG: m.id, View: m.view.Clone(), Ancestors: m.ancestors},
+			HWG: st.gid,
+		})
+		return
+	}
+	if m.sw == nil || m.sw.target != st.gid {
+		return
+	}
+	m.sw.ready[msg.From] = true
+	for _, p := range m.view.Members {
+		if !m.sw.ready[p] {
+			return
+		}
+	}
+	m.completeSwitch()
+}
+
+// completeSwitch announces the re-binding on the target HWG (coordinator
+// side). Installation happens on receipt, uniformly at every member.
+func (m *lwgMember) completeSwitch() {
+	if m.sw == nil || m.sw.sent {
+		return
+	}
+	m.sw.sent = true
+	_ = m.e.hwg.Send(m.sw.target, &lwgView{
+		Rec: viewRecord{LWG: m.id, View: m.view.Clone(), Ancestors: m.ancestors},
+		HWG: m.sw.target,
+	})
+}
+
+// --- naming callbacks (Steps 1–2) -------------------------------------------
+
+// handleNamingCallback receives MULTIPLE-MAPPINGS and applies the
+// Section 6.2 rule: the coordinators of all concurrent views switch to
+// the mapping with the highest HWG identifier; views already there keep
+// their mapping.
+func (e *Endpoint) handleNamingCallback(_ netsim.NodeID, _ netsim.Addr, msg netsim.Message) {
+	mm, ok := msg.(*naming.MsgMultipleMappings)
+	if !ok {
+		return
+	}
+	m := e.lwgs[mm.LWG]
+	if m == nil || !m.isCoordinator() || m.state != lwgActive {
+		return
+	}
+	target := naming.PreferredHWG(mm.Mappings)
+	if e.cfg.ReconcileToLowest {
+		target = lowestHWG(mm.Mappings)
+	}
+	if target == ids.NoHWG || target == m.hwg {
+		return
+	}
+	e.trace("reconcile", "%s: MULTIPLE-MAPPINGS, switching %v -> %v", mm.LWG, m.hwg, target)
+	m.startSwitch(target, false)
+}
+
+// lowestHWG is the ablation counterpart of naming.PreferredHWG.
+func lowestHWG(entries []naming.Entry) ids.HWGID {
+	var best ids.HWGID
+	for _, e := range entries {
+		if best == ids.NoHWG || e.HWG < best {
+			best = e.HWG
+		}
+	}
+	return best
+}

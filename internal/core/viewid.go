@@ -1,0 +1,57 @@
+package core
+
+import (
+	"hash/fnv"
+	"strconv"
+
+	"plwg/internal/ids"
+)
+
+// LWG view identifiers come from two minting schemes:
+//
+//   - Coordinator-minted: ordinary membership changes (join, leave) are
+//     installed by the LWG view's coordinator from its per-LWG counter,
+//     exactly the paper's (coordinator, view-sequence-number) scheme.
+//
+//   - Group-minted: two situations require every member to agree on a new
+//     view identifier *without* communicating — trimming a LWG view when
+//     the underlying HWG view changes, and merging concurrent LWG views at
+//     the end of a MERGE-VIEWS flush ("in a decentralized and
+//     deterministic way", Figure 5). A counter cannot be consulted
+//     decentrally, so these identifiers take their sequence number from a
+//     deterministic hash of the inputs, tagged with the top bit so they
+//     can never collide with counter-minted numbers. Identical inputs
+//     yield the identical identifier, which makes the decision idempotent
+//     across members — the property the paper's argument relies on.
+const groupMintedBit = uint64(1) << 63
+
+// trimmedViewID names the view obtained by restricting oldView to the
+// members surviving in the HWG view hwgView.
+func trimmedViewID(lwg ids.LWGID, oldView ids.ViewID, hwgView ids.ViewID, coord ids.ProcessID) ids.ViewID {
+	return ids.ViewID{
+		Coord: coord,
+		Seq:   groupMintedBit | hashViewInputs("trim", lwg, []ids.ViewID{oldView, hwgView}),
+	}
+}
+
+// mergedViewID names the view obtained by merging the given concurrent
+// views (sorted for determinism by the caller).
+func mergedViewID(lwg ids.LWGID, merged ids.ViewIDs, coord ids.ProcessID) ids.ViewID {
+	return ids.ViewID{
+		Coord: coord,
+		Seq:   groupMintedBit | hashViewInputs("merge", lwg, merged),
+	}
+}
+
+func hashViewInputs(op string, lwg ids.LWGID, views []ids.ViewID) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(op))
+	_, _ = h.Write([]byte(lwg))
+	for _, v := range views {
+		_, _ = h.Write([]byte(strconv.FormatInt(int64(v.Coord), 10)))
+		_, _ = h.Write([]byte{':'})
+		_, _ = h.Write([]byte(strconv.FormatUint(v.Seq, 10)))
+		_, _ = h.Write([]byte{';'})
+	}
+	return h.Sum64() &^ groupMintedBit
+}

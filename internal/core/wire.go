@@ -1,0 +1,31 @@
+package core
+
+import (
+	"encoding/gob"
+	"sync"
+
+	"plwg/internal/vsync"
+)
+
+var registerOnce sync.Once
+
+// RegisterWireTypes registers the light-weight group layer's message
+// types (which travel as vsync payloads) with encoding/gob, along with
+// the layers underneath, for transports that serialize messages.
+func RegisterWireTypes() {
+	registerOnce.Do(func() {
+		vsync.RegisterWireTypes()
+		gob.Register(&lwgData{})
+		gob.Register(&lwgJoinReq{})
+		gob.Register(&lwgLeaveReq{})
+		gob.Register(&lwgMoved{})
+		gob.Register(&lwgStop{})
+		gob.Register(&lwgFlushOk{})
+		gob.Register(&lwgView{})
+		gob.Register(&lwgAnnounce{})
+		gob.Register(&lwgMergeViews{})
+		gob.Register(&lwgMappedViews{})
+		gob.Register(&lwgSwitch{})
+		gob.Register(&lwgSwitchReady{})
+	})
+}

@@ -1,0 +1,62 @@
+package ids
+
+import (
+	"testing"
+)
+
+// FuzzMembersOps decodes bytes into two member sets and checks the
+// algebraic laws the protocols rely on.
+func FuzzMembersOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{3, 4, 5})
+	f.Add([]byte{}, []byte{0})
+	f.Add([]byte{9, 9, 9, 1}, []byte{2})
+	f.Fuzz(func(t *testing.T, ra, rb []byte) {
+		a := decodeMembers(ra)
+		b := decodeMembers(rb)
+
+		u := a.Union(b)
+		if !u.Equal(b.Union(a)) {
+			t.Fatal("union not commutative")
+		}
+		if !a.SubsetOf(u) || !b.SubsetOf(u) {
+			t.Fatal("union lost members")
+		}
+		x := a.Intersect(b)
+		if !x.Equal(b.Intersect(a)) {
+			t.Fatal("intersection not commutative")
+		}
+		if !x.SubsetOf(a) || !x.SubsetOf(b) {
+			t.Fatal("intersection grew members")
+		}
+		if len(u)+len(x) != len(a)+len(b) {
+			t.Fatal("inclusion-exclusion violated")
+		}
+		for _, p := range x {
+			if !a.Contains(p) || !b.Contains(p) {
+				t.Fatal("intersection member missing from operand")
+			}
+		}
+		// With/Without are inverses on absent/present members.
+		for _, p := range a {
+			if got := a.Without(p).With(p); !got.Equal(a) {
+				t.Fatalf("Without/With not inverse at %v: %v vs %v", p, got, a)
+			}
+		}
+		// Clone isolation.
+		c := a.Clone()
+		if len(c) > 0 {
+			c[0] = c[0] + 1000
+			if a.Contains(c[0]) && !decodeMembers(ra).Contains(c[0]) {
+				t.Fatal("Clone shares backing storage")
+			}
+		}
+	})
+}
+
+func decodeMembers(raw []byte) Members {
+	ps := make([]ProcessID, 0, len(raw))
+	for _, b := range raw {
+		ps = append(ps, ProcessID(b%32))
+	}
+	return NewMembers(ps...)
+}

@@ -1,0 +1,121 @@
+package ids
+
+// Genealogy records the partial order (ancestry DAG) of views of a single
+// group. The paper's naming service must "be aware of the partial order of
+// views" to garbage-collect obsolete mappings (Section 5.2): once the
+// merged view's mapping is stored, the mappings of the views it merged
+// are obsolete and can be deleted.
+//
+// Each view records its immediate parents (the views it succeeded or
+// merged). Because entries for ancestors may themselves have been garbage
+// collected by the time a descendant arrives, every node additionally keeps
+// its full transitive ancestor set, so that ancestry queries never depend
+// on intermediate nodes being present.
+type Genealogy struct {
+	// ancestors maps a view identifier to the set of all its strict
+	// ancestors.
+	ancestors map[ViewID]map[ViewID]bool
+}
+
+// NewGenealogy returns an empty genealogy.
+func NewGenealogy() *Genealogy {
+	return &Genealogy{ancestors: make(map[ViewID]map[ViewID]bool)}
+}
+
+// Record adds view v with the given immediate parents. Inputs must form
+// a DAG — a view's ancestors causally precede it, which the protocols
+// guarantee by construction. The transitive
+// ancestor set of v becomes parents ∪ (ancestors of each parent), and any
+// node already recorded with v among its ancestors inherits the additions
+// — so the closure is correct regardless of the order in which edges
+// arrive (replicas learn history in arbitrary order). Recording the same
+// view twice merges the ancestor sets.
+func (g *Genealogy) Record(v ViewID, parents []ViewID) {
+	set := g.ancestors[v]
+	if set == nil {
+		set = make(map[ViewID]bool)
+		g.ancestors[v] = set
+	}
+	for _, p := range parents {
+		if p.IsZero() || p == v {
+			continue
+		}
+		set[p] = true
+		for a := range g.ancestors[p] {
+			if a != v {
+				set[a] = true
+			}
+		}
+	}
+	// Forward propagation: descendants of v (nodes that already list v as
+	// an ancestor) inherit v's ancestors.
+	if len(set) == 0 {
+		return
+	}
+	for w, ws := range g.ancestors {
+		if w == v || !ws[v] {
+			continue
+		}
+		for a := range set {
+			if a != w {
+				ws[a] = true
+			}
+		}
+	}
+}
+
+// IsAncestor reports whether a is a strict ancestor of b.
+func (g *Genealogy) IsAncestor(a, b ViewID) bool {
+	return g.ancestors[b][a]
+}
+
+// Concurrent reports whether the two views are concurrent: distinct, and
+// neither is an ancestor of the other. Concurrent views of the same group
+// exist exactly when the group was split by a partition.
+func (g *Genealogy) Concurrent(a, b ViewID) bool {
+	if a == b {
+		return false
+	}
+	return !g.IsAncestor(a, b) && !g.IsAncestor(b, a)
+}
+
+// Ancestors returns the strict ancestor set of v in deterministic order.
+func (g *Genealogy) Ancestors(v ViewID) ViewIDs {
+	set := g.ancestors[v]
+	out := make(ViewIDs, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	return SortViewIDs(out)
+}
+
+// Known reports whether v has ever been recorded.
+func (g *Genealogy) Known(v ViewID) bool {
+	_, ok := g.ancestors[v]
+	return ok
+}
+
+// Forget drops the node for v. Descendants keep their full ancestor sets,
+// so ancestry queries about v remain correct.
+func (g *Genealogy) Forget(v ViewID) {
+	delete(g.ancestors, v)
+}
+
+// Merge copies every node of other into g, merging ancestor sets. It is
+// used by the naming service when reconciling databases after a partition
+// heals.
+func (g *Genealogy) Merge(other *Genealogy) {
+	for v, set := range other.ancestors {
+		dst := g.ancestors[v]
+		if dst == nil {
+			dst = make(map[ViewID]bool, len(set))
+			g.ancestors[v] = dst
+		}
+		for a := range set {
+			dst[a] = true
+		}
+	}
+}
+
+// Size returns the number of recorded views.
+func (g *Genealogy) Size() int { return len(g.ancestors) }

@@ -1,0 +1,164 @@
+package ids
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func vid(c ProcessID, s uint64) ViewID { return ViewID{Coord: c, Seq: s} }
+
+func TestGenealogyLinearChain(t *testing.T) {
+	g := NewGenealogy()
+	v1, v2, v3 := vid(1, 1), vid(1, 2), vid(1, 3)
+	g.Record(v1, nil)
+	g.Record(v2, []ViewID{v1})
+	g.Record(v3, []ViewID{v2})
+
+	if !g.IsAncestor(v1, v2) || !g.IsAncestor(v2, v3) {
+		t.Error("direct parents must be ancestors")
+	}
+	if !g.IsAncestor(v1, v3) {
+		t.Error("ancestry must be transitive")
+	}
+	if g.IsAncestor(v3, v1) {
+		t.Error("ancestry must not be symmetric")
+	}
+	if g.Concurrent(v1, v3) {
+		t.Error("related views must not be concurrent")
+	}
+}
+
+func TestGenealogyMerge(t *testing.T) {
+	// Two concurrent views merge into one, as in Figure 4 of the paper:
+	// lwg_a and lwg'_a merge into lwg''_a.
+	g := NewGenealogy()
+	base := vid(1, 1)
+	left := vid(1, 2)   // installed in partition p
+	right := vid(4, 1)  // installed in partition p'
+	merged := vid(1, 3) // after the heal
+	g.Record(base, nil)
+	g.Record(left, []ViewID{base})
+	g.Record(right, []ViewID{base})
+	g.Record(merged, []ViewID{left, right})
+
+	if !g.Concurrent(left, right) {
+		t.Error("views from disjoint partitions must be concurrent")
+	}
+	if !g.IsAncestor(left, merged) || !g.IsAncestor(right, merged) {
+		t.Error("merged view must descend from both inputs")
+	}
+	if !g.IsAncestor(base, merged) {
+		t.Error("merged view must descend from the common base")
+	}
+	if g.Concurrent(merged, left) {
+		t.Error("merged view is not concurrent with its parents")
+	}
+}
+
+func TestGenealogyForgetKeepsDescendantAncestry(t *testing.T) {
+	g := NewGenealogy()
+	v1, v2, v3 := vid(1, 1), vid(1, 2), vid(1, 3)
+	g.Record(v1, nil)
+	g.Record(v2, []ViewID{v1})
+	g.Record(v3, []ViewID{v2})
+	g.Forget(v2) // garbage-collect the middle node
+
+	if !g.IsAncestor(v1, v3) {
+		t.Error("forgetting an intermediate node must not lose ancestry")
+	}
+	if g.Known(v2) {
+		t.Error("forgotten node must not be known")
+	}
+}
+
+func TestGenealogyMergeDatabases(t *testing.T) {
+	// Two name servers learned disjoint halves of the history; after
+	// reconciliation the merged genealogy answers queries spanning both.
+	a := NewGenealogy()
+	b := NewGenealogy()
+	base, l, r := vid(1, 1), vid(1, 2), vid(4, 1)
+	a.Record(base, nil)
+	a.Record(l, []ViewID{base})
+	b.Record(base, nil)
+	b.Record(r, []ViewID{base})
+
+	a.Merge(b)
+	if !a.IsAncestor(base, r) {
+		t.Error("merged genealogy must include the other server's edges")
+	}
+	if !a.Concurrent(l, r) {
+		t.Error("merged genealogy must see l and r as concurrent")
+	}
+}
+
+func TestGenealogySelfAndZeroParents(t *testing.T) {
+	g := NewGenealogy()
+	v := vid(1, 1)
+	g.Record(v, []ViewID{v, ZeroView}) // degenerate inputs are ignored
+	if g.IsAncestor(v, v) {
+		t.Error("a view must not be its own ancestor")
+	}
+	if g.IsAncestor(ZeroView, v) {
+		t.Error("the zero view must never be recorded as an ancestor")
+	}
+}
+
+func TestGenealogyAncestorsSorted(t *testing.T) {
+	g := NewGenealogy()
+	v1, v2, v3, v4 := vid(2, 1), vid(1, 5), vid(3, 1), vid(1, 9)
+	g.Record(v1, nil)
+	g.Record(v2, nil)
+	g.Record(v3, []ViewID{v1, v2})
+	g.Record(v4, []ViewID{v3})
+
+	got := g.Ancestors(v4)
+	want := ViewIDs{v2, v1, v3} // sorted order: p1/5, p2/1, p3/1
+	if len(got) != len(want) {
+		t.Fatalf("Ancestors = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Ancestors = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestGenealogyRandomDAGInvariants grows a random DAG and checks the core
+// invariants: irreflexivity, antisymmetry, transitivity via merged nodes.
+func TestGenealogyRandomDAGInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		g := NewGenealogy()
+		var all ViewIDs
+		for i := 0; i < 30; i++ {
+			v := vid(ProcessID(r.Intn(4)), uint64(i+1))
+			// pick up to 2 random existing views as parents
+			var parents []ViewID
+			for k := 0; k < 2 && len(all) > 0; k++ {
+				parents = append(parents, all[r.Intn(len(all))])
+			}
+			g.Record(v, parents)
+			all = append(all, v)
+		}
+		for _, a := range all {
+			if g.IsAncestor(a, a) {
+				t.Fatalf("irreflexivity violated at %v", a)
+			}
+			for _, b := range all {
+				if a != b && g.IsAncestor(a, b) && g.IsAncestor(b, a) {
+					t.Fatalf("antisymmetry violated at %v,%v", a, b)
+				}
+			}
+		}
+		// Transitivity: ancestors of ancestors are ancestors.
+		for _, b := range all {
+			for _, a := range g.Ancestors(b) {
+				for _, aa := range g.Ancestors(a) {
+					if !g.IsAncestor(aa, b) {
+						t.Fatalf("transitivity violated: %v < %v < %v", aa, a, b)
+					}
+				}
+			}
+		}
+	}
+}

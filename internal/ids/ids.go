@@ -1,0 +1,288 @@
+// Package ids defines the identifier and view types shared by every layer
+// of the partitionable light-weight group service: process identifiers,
+// heavy-weight group identifiers, light-weight group names, view identifiers
+// and views.
+//
+// Following the paper (Section 5.1), a view is identified by the pair
+// (coordinator, view-sequence-number), where the sequence number is a local
+// counter incremented by the coordinator each time it installs a new view.
+// Because a coordinator never reuses a sequence number, view identifiers are
+// globally unique even across concurrent partitions.
+package ids
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ProcessID identifies a process (one per simulated node).
+type ProcessID int32
+
+// String returns the conventional "p<N>" rendering of a process identifier.
+func (p ProcessID) String() string { return fmt.Sprintf("p%d", int32(p)) }
+
+// HWGID identifies a heavy-weight group. HWGIDs are allocated from a
+// totally ordered space; the total order is used by the mapping heuristics
+// and by the partition-reconciliation rule of Section 6.2 ("switch to the
+// HWG with highest group identifier") to make deterministic decisions
+// without coordination.
+type HWGID int64
+
+// String returns the conventional "hwg<N>" rendering.
+func (h HWGID) String() string { return fmt.Sprintf("hwg%d", int64(h)) }
+
+// NoHWG is the zero HWGID, meaning "no heavy-weight group".
+const NoHWG HWGID = 0
+
+// LWGID names a user-level light-weight group. LWG names are chosen by the
+// application (e.g. a data "subject" in a trading system).
+type LWGID string
+
+// ViewID identifies one view of a group (either level). It is the pair
+// (coordinator, view-sequence-number) from Section 5.1 of the paper.
+type ViewID struct {
+	// Coord is the process that installed the view and acts as its
+	// coordinator.
+	Coord ProcessID
+	// Seq is the coordinator-local view sequence number.
+	Seq uint64
+}
+
+// ZeroView is the zero ViewID, meaning "no view".
+var ZeroView ViewID
+
+// IsZero reports whether v is the zero view identifier.
+func (v ViewID) IsZero() bool { return v == ZeroView }
+
+// String renders the identifier as "<coord>/<seq>".
+func (v ViewID) String() string {
+	if v.IsZero() {
+		return "⊥"
+	}
+	return fmt.Sprintf("%v/%d", v.Coord, v.Seq)
+}
+
+// Less imposes a deterministic total order on view identifiers
+// (lexicographic on coordinator then sequence number). The order carries no
+// causal meaning; it is used only for tie-breaking and stable iteration.
+func (v ViewID) Less(o ViewID) bool {
+	if v.Coord != o.Coord {
+		return v.Coord < o.Coord
+	}
+	return v.Seq < o.Seq
+}
+
+// Compare returns -1, 0 or +1 according to the total order of Less.
+func (v ViewID) Compare(o ViewID) int {
+	switch {
+	case v == o:
+		return 0
+	case v.Less(o):
+		return -1
+	default:
+		return 1
+	}
+}
+
+// View is an installed view: an identifier plus the sorted member list.
+type View struct {
+	ID      ViewID
+	Members Members
+}
+
+// Clone returns a deep copy of the view.
+func (v View) Clone() View {
+	return View{ID: v.ID, Members: v.Members.Clone()}
+}
+
+// String renders the view as "<id>{p1,p2,...}".
+func (v View) String() string {
+	return v.ID.String() + v.Members.String()
+}
+
+// Coordinator returns the process responsible for the view's membership
+// decisions: by convention the member with the smallest identifier. For an
+// installed view this equals ID.Coord; during view formation it identifies
+// who should become the coordinator.
+func (v View) Coordinator() ProcessID { return v.Members.Min() }
+
+// Contains reports whether p is a member of the view.
+func (v View) Contains(p ProcessID) bool { return v.Members.Contains(p) }
+
+// Members is a sorted, duplicate-free set of process identifiers.
+type Members []ProcessID
+
+// NewMembers builds a member set from the given processes, sorting and
+// de-duplicating them.
+func NewMembers(ps ...ProcessID) Members {
+	m := make(Members, len(ps))
+	copy(m, ps)
+	sort.Slice(m, func(i, j int) bool { return m[i] < m[j] })
+	out := m[:0]
+	for i, p := range m {
+		if i == 0 || p != m[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Clone returns a copy of the member set.
+func (m Members) Clone() Members {
+	out := make(Members, len(m))
+	copy(out, m)
+	return out
+}
+
+// String renders the set as "{p1,p2,...}".
+func (m Members) String() string {
+	parts := make([]string, len(m))
+	for i, p := range m {
+		parts[i] = p.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Contains reports whether p is in the set.
+func (m Members) Contains(p ProcessID) bool {
+	i := sort.Search(len(m), func(i int) bool { return m[i] >= p })
+	return i < len(m) && m[i] == p
+}
+
+// Min returns the smallest member, or -1 if the set is empty.
+func (m Members) Min() ProcessID {
+	if len(m) == 0 {
+		return -1
+	}
+	return m[0]
+}
+
+// Equal reports whether the two sets contain exactly the same processes.
+func (m Members) Equal(o Members) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if m[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every member of m is also in o.
+func (m Members) SubsetOf(o Members) bool {
+	i := 0
+	for _, p := range m {
+		for i < len(o) && o[i] < p {
+			i++
+		}
+		if i >= len(o) || o[i] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the sorted union of the two sets.
+func (m Members) Union(o Members) Members {
+	out := make(Members, 0, len(m)+len(o))
+	i, j := 0, 0
+	for i < len(m) && j < len(o) {
+		switch {
+		case m[i] < o[j]:
+			out = append(out, m[i])
+			i++
+		case m[i] > o[j]:
+			out = append(out, o[j])
+			j++
+		default:
+			out = append(out, m[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, m[i:]...)
+	out = append(out, o[j:]...)
+	return out
+}
+
+// Intersect returns the sorted intersection of the two sets.
+func (m Members) Intersect(o Members) Members {
+	var out Members
+	i, j := 0, 0
+	for i < len(m) && j < len(o) {
+		switch {
+		case m[i] < o[j]:
+			i++
+		case m[i] > o[j]:
+			j++
+		default:
+			out = append(out, m[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Without returns a copy of m with p removed (no-op if absent).
+func (m Members) Without(p ProcessID) Members {
+	out := make(Members, 0, len(m))
+	for _, q := range m {
+		if q != p {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// With returns a copy of m with p added (no-op if present).
+func (m Members) With(p ProcessID) Members {
+	if m.Contains(p) {
+		return m.Clone()
+	}
+	out := make(Members, 0, len(m)+1)
+	inserted := false
+	for _, q := range m {
+		if !inserted && p < q {
+			out = append(out, p)
+			inserted = true
+		}
+		out = append(out, q)
+	}
+	if !inserted {
+		out = append(out, p)
+	}
+	return out
+}
+
+// ViewIDs is a slice of view identifiers with set-style helpers.
+type ViewIDs []ViewID
+
+// SortViewIDs sorts the slice in the deterministic total order of
+// ViewID.Less and returns it.
+func SortViewIDs(vs ViewIDs) ViewIDs {
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Less(vs[j]) })
+	return vs
+}
+
+// Contains reports whether v is in the slice.
+func (vs ViewIDs) Contains(v ViewID) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the slice as "[v1 v2 ...]".
+func (vs ViewIDs) String() string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

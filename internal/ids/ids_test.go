@@ -1,0 +1,221 @@
+package ids
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMembersSortsAndDedups(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []ProcessID
+		want Members
+	}{
+		{"empty", nil, Members{}},
+		{"single", []ProcessID{3}, Members{3}},
+		{"sorted", []ProcessID{1, 2, 3}, Members{1, 2, 3}},
+		{"reverse", []ProcessID{3, 2, 1}, Members{1, 2, 3}},
+		{"dups", []ProcessID{2, 1, 2, 3, 1}, Members{1, 2, 3}},
+		{"all same", []ProcessID{7, 7, 7}, Members{7}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := NewMembers(tt.in...)
+			if !got.Equal(tt.want) {
+				t.Errorf("NewMembers(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMembersContains(t *testing.T) {
+	m := NewMembers(1, 3, 5, 7)
+	for _, p := range []ProcessID{1, 3, 5, 7} {
+		if !m.Contains(p) {
+			t.Errorf("Contains(%v) = false, want true", p)
+		}
+	}
+	for _, p := range []ProcessID{0, 2, 4, 6, 8} {
+		if m.Contains(p) {
+			t.Errorf("Contains(%v) = true, want false", p)
+		}
+	}
+}
+
+func TestMembersMin(t *testing.T) {
+	if got := NewMembers().Min(); got != -1 {
+		t.Errorf("empty Min = %v, want -1", got)
+	}
+	if got := NewMembers(5, 2, 9).Min(); got != 2 {
+		t.Errorf("Min = %v, want 2", got)
+	}
+}
+
+func TestMembersUnionIntersect(t *testing.T) {
+	a := NewMembers(1, 2, 3, 4)
+	b := NewMembers(3, 4, 5, 6)
+	if got := a.Union(b); !got.Equal(NewMembers(1, 2, 3, 4, 5, 6)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewMembers(3, 4)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Union(NewMembers()); !got.Equal(a) {
+		t.Errorf("Union with empty = %v", got)
+	}
+	if got := a.Intersect(NewMembers()); len(got) != 0 {
+		t.Errorf("Intersect with empty = %v", got)
+	}
+}
+
+func TestMembersSubsetOf(t *testing.T) {
+	a := NewMembers(2, 4)
+	b := NewMembers(1, 2, 3, 4)
+	if !a.SubsetOf(b) {
+		t.Error("a should be subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b should not be subset of a")
+	}
+	if !a.SubsetOf(a) {
+		t.Error("a should be subset of itself")
+	}
+	if !NewMembers().SubsetOf(a) {
+		t.Error("empty should be subset of anything")
+	}
+}
+
+func TestMembersWithWithout(t *testing.T) {
+	m := NewMembers(1, 3)
+	if got := m.With(2); !got.Equal(NewMembers(1, 2, 3)) {
+		t.Errorf("With(2) = %v", got)
+	}
+	if got := m.With(3); !got.Equal(m) {
+		t.Errorf("With(existing) = %v", got)
+	}
+	if got := m.With(9); !got.Equal(NewMembers(1, 3, 9)) {
+		t.Errorf("With(9) = %v", got)
+	}
+	if got := m.Without(1); !got.Equal(NewMembers(3)) {
+		t.Errorf("Without(1) = %v", got)
+	}
+	if got := m.Without(99); !got.Equal(m) {
+		t.Errorf("Without(absent) = %v", got)
+	}
+	// Original must be untouched.
+	if !m.Equal(NewMembers(1, 3)) {
+		t.Errorf("original mutated: %v", m)
+	}
+}
+
+func TestViewIDOrder(t *testing.T) {
+	a := ViewID{Coord: 1, Seq: 2}
+	b := ViewID{Coord: 1, Seq: 3}
+	c := ViewID{Coord: 2, Seq: 1}
+	if !a.Less(b) || !b.Less(c) || !a.Less(c) {
+		t.Error("expected a < b < c")
+	}
+	if a.Less(a) {
+		t.Error("a < a must be false")
+	}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Error("Compare inconsistent with Less")
+	}
+}
+
+func TestViewIDString(t *testing.T) {
+	if got := (ViewID{Coord: 3, Seq: 7}).String(); got != "p3/7" {
+		t.Errorf("String = %q", got)
+	}
+	if got := ZeroView.String(); got != "⊥" {
+		t.Errorf("zero String = %q", got)
+	}
+}
+
+func TestViewCoordinatorIsMinMember(t *testing.T) {
+	v := View{ID: ViewID{Coord: 2, Seq: 1}, Members: NewMembers(5, 2, 9)}
+	if got := v.Coordinator(); got != 2 {
+		t.Errorf("Coordinator = %v, want 2", got)
+	}
+}
+
+func TestSortViewIDs(t *testing.T) {
+	vs := ViewIDs{{Coord: 2, Seq: 1}, {Coord: 1, Seq: 9}, {Coord: 1, Seq: 2}}
+	SortViewIDs(vs)
+	want := ViewIDs{{Coord: 1, Seq: 2}, {Coord: 1, Seq: 9}, {Coord: 2, Seq: 1}}
+	if !reflect.DeepEqual(vs, want) {
+		t.Errorf("sorted = %v, want %v", vs, want)
+	}
+}
+
+// randomMembers generates a member set for property tests.
+func randomMembers(r *rand.Rand) Members {
+	n := r.Intn(8)
+	ps := make([]ProcessID, n)
+	for i := range ps {
+		ps[i] = ProcessID(r.Intn(16))
+	}
+	return NewMembers(ps...)
+}
+
+func TestMembersUnionProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomMembers(r))
+			vals[1] = reflect.ValueOf(randomMembers(r))
+		},
+	}
+	// Union is commutative, contains both operands, and stays sorted.
+	prop := func(a, b Members) bool {
+		u := a.Union(b)
+		if !u.Equal(b.Union(a)) {
+			return false
+		}
+		if !a.SubsetOf(u) || !b.SubsetOf(u) {
+			return false
+		}
+		return sort.SliceIsSorted(u, func(i, j int) bool { return u[i] < u[j] })
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMembersIntersectProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomMembers(r))
+			vals[1] = reflect.ValueOf(randomMembers(r))
+		},
+	}
+	// Intersection is commutative and a subset of both operands.
+	prop := func(a, b Members) bool {
+		x := a.Intersect(b)
+		return x.Equal(b.Intersect(a)) && x.SubsetOf(a) && x.SubsetOf(b)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMembersDeMorganProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomMembers(r))
+			vals[1] = reflect.ValueOf(randomMembers(r))
+		},
+	}
+	// |A ∪ B| + |A ∩ B| == |A| + |B| (inclusion–exclusion).
+	prop := func(a, b Members) bool {
+		return len(a.Union(b))+len(a.Intersect(b)) == len(a)+len(b)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+// Package metrics provides the small statistics toolkit used by the
+// benchmark harness: duration histograms with percentiles and simple
+// throughput counters, all on virtual time.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram collects duration samples and answers summary queries. The
+// zero value is ready to use.
+type Histogram struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *Histogram) Add(d time.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range h.samples {
+		sum += float64(s)
+	}
+	return time.Duration(sum / float64(len(h.samples)))
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() time.Duration {
+	h.sort()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() time.Duration {
+	h.sort()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.samples[len(h.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank, or 0 with no samples.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.sort()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(h.samples) {
+		rank = len(h.samples)
+	}
+	return h.samples[rank-1]
+}
+
+// Stddev returns the population standard deviation of the samples.
+func (h *Histogram) Stddev() time.Duration {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := float64(h.Mean())
+	var acc float64
+	for _, s := range h.samples {
+		d := float64(s) - mean
+		acc += d * d
+	}
+	return time.Duration(math.Sqrt(acc / float64(n)))
+}
+
+// Summary renders "n=… mean=… p50=… p99=… max=…".
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(), h.Mean().Round(time.Microsecond),
+		h.Percentile(50).Round(time.Microsecond),
+		h.Percentile(99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}
+
+func (h *Histogram) sort() {
+	if h.sorted {
+		return
+	}
+	sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+	h.sorted = true
+}
+
+// Rate converts a count observed over an interval into a per-second rate.
+func Rate(count int64, over time.Duration) float64 {
+	if over <= 0 {
+		return 0
+	}
+	return float64(count) / over.Seconds()
+}

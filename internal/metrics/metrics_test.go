@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	if h.Percentile(50) != 0 || h.Stddev() != 0 {
+		t.Error("empty histogram percentile/stddev must be zero")
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		h.Add(d * time.Millisecond)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 3*time.Millisecond {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 5*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	tests := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{90, 90 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+		{1, 1 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		if got := h.Percentile(tt.p); got != tt.want {
+			t.Errorf("P%v = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestHistogramAddAfterQuery(t *testing.T) {
+	// Adding after a sorted query must re-sort.
+	var h Histogram
+	h.Add(5 * time.Millisecond)
+	_ = h.Max()
+	h.Add(time.Millisecond)
+	if h.Min() != time.Millisecond {
+		t.Errorf("Min after late Add = %v", h.Min())
+	}
+}
+
+func TestHistogramStddev(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Add(d)
+	}
+	if got := h.Stddev(); got != 2 { // classic example: σ = 2
+		t.Errorf("Stddev = %v, want 2", got)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	h.Add(time.Millisecond)
+	s := h.Summary()
+	for _, want := range []string{"n=1", "mean=", "p50=", "p99=", "max="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(100, time.Second); got != 100 {
+		t.Errorf("Rate = %v", got)
+	}
+	if got := Rate(50, 500*time.Millisecond); got != 100 {
+		t.Errorf("Rate = %v", got)
+	}
+	if got := Rate(10, 0); got != 0 {
+		t.Errorf("Rate over zero interval = %v, want 0", got)
+	}
+}

@@ -1,0 +1,185 @@
+package naming
+
+import (
+	"plwg/internal/ids"
+	"plwg/internal/netsim"
+	"plwg/internal/sim"
+)
+
+// Client is a process's naming-service access point. Requests go to the
+// configured servers in order; a server that does not answer within
+// RequestTimeout (crashed, or in another partition) is skipped and the
+// next one is tried — "there is a high probability of having at least one
+// server available at each partition" (Section 5.2). If no server
+// answers, the operation completes with ok == false and the caller
+// retries at its own pace.
+//
+// All operations are asynchronous: the simulation is single-threaded, so
+// results arrive through callbacks.
+type Client struct {
+	pid     ids.ProcessID
+	net     netsim.Transport
+	clock   *sim.Sim
+	cfg     Config
+	servers []ids.ProcessID
+
+	nextReq uint64
+	pending map[uint64]*pendingReq
+}
+
+type pendingReq struct {
+	req    *msgRequest
+	cb     func([]Entry, bool)
+	tried  int
+	sIndex int
+	timer  *sim.Timer
+}
+
+// ClientParams bundles the dependencies of a Client.
+type ClientParams struct {
+	Net     netsim.Transport
+	PID     ids.ProcessID
+	Servers []ids.ProcessID
+	Config  Config
+}
+
+// NewClient creates a naming client. The caller must route mux prefix
+// ClientPrefix to HandleMessage.
+func NewClient(p ClientParams) *Client {
+	return &Client{
+		pid:     p.PID,
+		net:     p.Net,
+		clock:   p.Net.Sim(),
+		cfg:     p.Config.withDefaults(),
+		servers: append([]ids.ProcessID(nil), p.Servers...),
+		pending: make(map[uint64]*pendingReq),
+	}
+}
+
+// HandleMessage is the network receive entry point for ClientPrefix.
+func (c *Client) HandleMessage(_ netsim.NodeID, _ netsim.Addr, msg netsim.Message) {
+	r, ok := msg.(*msgReply)
+	if !ok {
+		return
+	}
+	p, ok := c.pending[r.ReqID]
+	if !ok {
+		return // late reply from a failed-over server
+	}
+	delete(c.pending, r.ReqID)
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	p.cb(r.Entries, true)
+}
+
+// SetView stores (or updates) the mapping of one LWG view. The callback
+// receives the live mappings as the server now sees them.
+func (c *Client) SetView(e Entry, cb func([]Entry, bool)) {
+	c.issue(&msgRequest{Op: opSetView, LWG: e.LWG, Entry: e}, cb)
+}
+
+// ReadLive fetches the live mappings of the LWG.
+func (c *Client) ReadLive(lwg ids.LWGID, cb func([]Entry, bool)) {
+	c.issue(&msgRequest{Op: opReadLive, LWG: lwg}, cb)
+}
+
+// TestSet atomically installs the mapping if the LWG has no live mapping
+// at the answering server, and returns the current live mappings either
+// way (Table 2's ns.testset, extended with view information).
+func (c *Client) TestSet(e Entry, cb func([]Entry, bool)) {
+	c.issue(&msgRequest{Op: opTestSet, LWG: e.LWG, Entry: e}, cb)
+}
+
+// Delete tombstones the mapping of one LWG view (used when a group
+// dissolves).
+func (c *Client) Delete(lwg ids.LWGID, view ids.ViewID, cb func([]Entry, bool)) {
+	c.issue(&msgRequest{Op: opDelete, LWG: lwg, Entry: Entry{
+		LWG: lwg, View: view, Refreshed: int64(c.clock.Now()),
+	}}, cb)
+}
+
+// --- Table 2 compatibility wrappers ---------------------------------------
+
+// Set implements Table 2's ns.set(lwg, hwg): it records a mapping for the
+// group as a whole. The view-aware SetView is preferred; Set synthesizes
+// a per-process pseudo-view so repeated Sets by one process overwrite each
+// other.
+func (c *Client) Set(lwg ids.LWGID, hwg ids.HWGID, done func(bool)) {
+	c.SetView(Entry{
+		LWG:       lwg,
+		View:      ids.ViewID{Coord: c.pid, Seq: 1},
+		HWG:       hwg,
+		Ver:       uint64(c.clock.Now()),
+		Refreshed: int64(c.clock.Now()),
+	}, func(_ []Entry, ok bool) { done(ok) })
+}
+
+// Read implements Table 2's ns.read(lwg): it returns the current mapping
+// for the group. With concurrent live mappings the highest HWG identifier
+// wins, matching the reconciliation rule of Section 6.2.
+func (c *Client) Read(lwg ids.LWGID, cb func(ids.HWGID, bool)) {
+	c.ReadLive(lwg, func(entries []Entry, ok bool) {
+		cb(PreferredHWG(entries), ok && len(entries) > 0)
+	})
+}
+
+// TestSetHWG implements Table 2's ns.testset(lwg, hwg): it establishes
+// the mapping if none exists and returns the winning mapping.
+func (c *Client) TestSetHWG(lwg ids.LWGID, hwg ids.HWGID, cb func(ids.HWGID, bool)) {
+	c.TestSet(Entry{
+		LWG:       lwg,
+		View:      ids.ViewID{Coord: c.pid, Seq: 1},
+		HWG:       hwg,
+		Ver:       uint64(c.clock.Now()),
+		Refreshed: int64(c.clock.Now()),
+	}, func(entries []Entry, ok bool) {
+		cb(PreferredHWG(entries), ok && len(entries) > 0)
+	})
+}
+
+// PreferredHWG returns the heavy-weight group a joiner should use given a
+// set of live mappings: the highest group identifier, the same total
+// order used by mapping reconciliation (Section 6.2).
+func PreferredHWG(entries []Entry) ids.HWGID {
+	var best ids.HWGID
+	for _, e := range entries {
+		if e.HWG > best {
+			best = e.HWG
+		}
+	}
+	return best
+}
+
+func (c *Client) issue(req *msgRequest, cb func([]Entry, bool)) {
+	if len(c.servers) == 0 {
+		cb(nil, false)
+		return
+	}
+	c.nextReq++
+	req.ReqID = c.nextReq
+	req.From = c.pid
+	// Start at the server "closest" to this process (deterministic
+	// spread: indexed by pid) so load distributes across replicas.
+	p := &pendingReq{req: req, cb: cb, sIndex: int(c.pid) % len(c.servers)}
+	c.pending[req.ReqID] = p
+	c.sendAttempt(p)
+}
+
+func (c *Client) sendAttempt(p *pendingReq) {
+	server := c.servers[p.sIndex%len(c.servers)]
+	c.net.Unicast(c.pid, server, ServerPrefix, p.req)
+	p.timer = c.clock.After(c.cfg.RequestTimeout, func() {
+		if _, live := c.pending[p.req.ReqID]; !live {
+			return
+		}
+		p.tried++
+		p.sIndex++
+		if p.tried >= len(c.servers) {
+			delete(c.pending, p.req.ReqID)
+			p.cb(nil, false)
+			return
+		}
+		c.sendAttempt(p)
+	})
+}

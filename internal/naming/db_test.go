@@ -1,0 +1,219 @@
+package naming
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"plwg/internal/ids"
+)
+
+func vid(c ids.ProcessID, s uint64) ids.ViewID { return ids.ViewID{Coord: c, Seq: s} }
+
+func TestPutAndLive(t *testing.T) {
+	db := NewDB()
+	e := Entry{LWG: "a", View: vid(1, 1), HWG: 10, Ver: 1}
+	if !db.Put(e) {
+		t.Fatal("first Put must change the db")
+	}
+	if db.Put(e) {
+		t.Fatal("identical Put must be a no-op")
+	}
+	live := db.Live("a")
+	if len(live) != 1 || live[0].HWG != 10 {
+		t.Fatalf("Live = %v", live)
+	}
+}
+
+func TestPutVersionOrdering(t *testing.T) {
+	db := NewDB()
+	db.Put(Entry{LWG: "a", View: vid(1, 1), HWG: 10, Ver: 2})
+	// An older write must not clobber a newer one.
+	if db.Put(Entry{LWG: "a", View: vid(1, 1), HWG: 99, Ver: 1}) {
+		t.Fatal("stale Put must be ignored")
+	}
+	if got := db.Live("a")[0].HWG; got != 10 {
+		t.Fatalf("HWG = %v, want 10", got)
+	}
+	// A newer write re-maps the same view (Table 4 step 3: switching
+	// re-maps an existing LWG view onto another HWG).
+	if !db.Put(Entry{LWG: "a", View: vid(1, 1), HWG: 20, Ver: 3}) {
+		t.Fatal("newer Put must apply")
+	}
+	if got := db.Live("a")[0].HWG; got != 20 {
+		t.Fatalf("HWG = %v, want 20", got)
+	}
+}
+
+func TestTombstoneSticky(t *testing.T) {
+	db := NewDB()
+	db.Put(Entry{LWG: "a", View: vid(1, 1), HWG: 10, Ver: 1})
+	db.Put(Entry{LWG: "a", View: vid(1, 1), Ver: 2, Deleted: true})
+	if len(db.Live("a")) != 0 {
+		t.Fatal("deleted mapping still live")
+	}
+	// Even a newer non-deleted write cannot resurrect the view.
+	db.Put(Entry{LWG: "a", View: vid(1, 1), HWG: 10, Ver: 9})
+	if len(db.Live("a")) != 0 {
+		t.Fatal("tombstone must be sticky")
+	}
+}
+
+func TestGenealogyGC(t *testing.T) {
+	// Table 4 step 4: once the merged view's mapping is stored, the
+	// mappings of the merged (ancestor) views are deleted.
+	db := NewDB()
+	left, right := vid(1, 2), vid(4, 1)
+	merged := vid(1, 3)
+	db.Put(Entry{LWG: "a", View: left, HWG: 1, Ver: 1})
+	db.Put(Entry{LWG: "a", View: right, HWG: 2, Ver: 1})
+	if len(db.Live("a")) != 2 {
+		t.Fatalf("want 2 concurrent mappings, got %d", len(db.Live("a")))
+	}
+	db.Put(Entry{
+		LWG: "a", View: merged, HWG: 2, Ver: 1,
+		Ancestors: ids.ViewIDs{left, right},
+	})
+	live := db.Live("a")
+	if len(live) != 1 || live[0].View != merged {
+		t.Fatalf("ancestors not GCed: %v", live)
+	}
+}
+
+func TestGCArrivesBeforeAncestors(t *testing.T) {
+	// Reconciliation can deliver the descendant first; ancestor entries
+	// arriving later must be recognized as obsolete.
+	db := NewDB()
+	left, right, merged := vid(1, 2), vid(4, 1), vid(1, 3)
+	db.Put(Entry{LWG: "a", View: merged, HWG: 2, Ver: 1, Ancestors: ids.ViewIDs{left, right}})
+	db.Put(Entry{LWG: "a", View: left, HWG: 1, Ver: 1})
+	db.Put(Entry{LWG: "a", View: right, HWG: 2, Ver: 1})
+	live := db.Live("a")
+	if len(live) != 1 || live[0].View != merged {
+		t.Fatalf("late ancestors not GCed: %v", live)
+	}
+}
+
+func TestConflictDetection(t *testing.T) {
+	// Table 3: in partition p, lwg_a -> hwg_1; in partition p',
+	// lwg'_a -> hwg'_2. After the naming databases merge, the service
+	// must detect the inconsistent mappings.
+	db := NewDB()
+	db.Put(Entry{LWG: "a", View: vid(1, 2), HWG: 1, Ver: 1})
+	if db.Conflict("a") {
+		t.Fatal("single mapping is not a conflict")
+	}
+	db.Put(Entry{LWG: "a", View: vid(4, 1), HWG: 2, Ver: 1})
+	if !db.Conflict("a") {
+		t.Fatal("concurrent mappings to different HWGs must conflict")
+	}
+	// Concurrent views on the SAME HWG are not a naming conflict (they
+	// are resolved by local peer discovery, Section 6.3).
+	db2 := NewDB()
+	db2.Put(Entry{LWG: "b", View: vid(1, 2), HWG: 7, Ver: 1})
+	db2.Put(Entry{LWG: "b", View: vid(4, 1), HWG: 7, Ver: 1})
+	if db2.Conflict("b") {
+		t.Fatal("same-HWG concurrent views are not a naming conflict")
+	}
+}
+
+func TestMergeTable3(t *testing.T) {
+	// Reproduce Table 3 exactly: two partition-local databases merge into
+	// one holding both mappings for each LWG.
+	p := NewDB()
+	p.Put(Entry{LWG: "a", View: vid(1, 2), HWG: 1, Ver: 1})
+	p.Put(Entry{LWG: "b", View: vid(1, 7), HWG: 2, Ver: 1})
+	pp := NewDB()
+	pp.Put(Entry{LWG: "a", View: vid(4, 1), HWG: 2, Ver: 1})
+	pp.Put(Entry{LWG: "b", View: vid(4, 3), HWG: 1, Ver: 1})
+
+	p.Merge(pp.All())
+	if got := len(p.Live("a")); got != 2 {
+		t.Errorf("LWG a: %d live mappings, want 2", got)
+	}
+	if got := len(p.Live("b")); got != 2 {
+		t.Errorf("LWG b: %d live mappings, want 2", got)
+	}
+	if !p.Conflict("a") || !p.Conflict("b") {
+		t.Error("merged database must flag both LWGs as conflicting")
+	}
+}
+
+func TestMergeCommutative(t *testing.T) {
+	// Property: merging any permutation of the same entry set yields the
+	// same live state (anti-entropy order must not matter).
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		var entries []Entry
+		base := vid(1, 1)
+		l, rgt, m := vid(1, 2), vid(4, 1), vid(1, 3)
+		entries = append(entries,
+			Entry{LWG: "a", View: base, HWG: 1, Ver: 1},
+			Entry{LWG: "a", View: l, HWG: 1, Ver: 1, Ancestors: ids.ViewIDs{base}},
+			Entry{LWG: "a", View: rgt, HWG: 2, Ver: 1, Ancestors: ids.ViewIDs{base}},
+			Entry{LWG: "a", View: l, HWG: 3, Ver: 2, Ancestors: ids.ViewIDs{base}},
+			Entry{LWG: "a", View: m, HWG: 3, Ver: 1, Ancestors: ids.ViewIDs{base, l, rgt}},
+			Entry{LWG: "b", View: vid(2, 1), HWG: 5, Ver: 1},
+			Entry{LWG: "b", View: vid(2, 1), Ver: 2, Deleted: true},
+		)
+		shuffled := append([]Entry(nil), entries...)
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+		d1, d2 := NewDB(), NewDB()
+		d1.Merge(entries)
+		d2.Merge(shuffled)
+		if d1.Dump() != d2.Dump() {
+			t.Fatalf("merge not commutative:\n%s\nvs\n%s", d1.Dump(), d2.Dump())
+		}
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	db := NewDB()
+	entries := []Entry{
+		{LWG: "a", View: vid(1, 1), HWG: 1, Ver: 1},
+		{LWG: "a", View: vid(4, 1), HWG: 2, Ver: 1},
+	}
+	db.Merge(entries)
+	before := db.Dump()
+	if db.Merge(entries) {
+		t.Error("re-merging identical entries must report no change")
+	}
+	if db.Dump() != before {
+		t.Error("re-merge changed the database")
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	db := NewDB()
+	db.Put(Entry{LWG: "a", View: vid(1, 2), HWG: 1, HWGView: vid(1, 5), Ver: 1})
+	dump := db.Dump()
+	if !strings.Contains(dump, "LWG a:") || !strings.Contains(dump, "p1/2 -> hwg1(p1/5)") {
+		t.Errorf("unexpected dump format:\n%s", dump)
+	}
+}
+
+func TestLWGsSorted(t *testing.T) {
+	db := NewDB()
+	db.Put(Entry{LWG: "z", View: vid(1, 1), HWG: 1, Ver: 1})
+	db.Put(Entry{LWG: "a", View: vid(1, 1), HWG: 1, Ver: 1})
+	db.Put(Entry{LWG: "m", View: vid(1, 1), HWG: 1, Ver: 1})
+	got := db.LWGs()
+	if len(got) != 3 || got[0] != "a" || got[1] != "m" || got[2] != "z" {
+		t.Errorf("LWGs = %v", got)
+	}
+}
+
+func TestPreferredHWG(t *testing.T) {
+	entries := []Entry{
+		{LWG: "a", View: vid(1, 1), HWG: 3},
+		{LWG: "a", View: vid(2, 1), HWG: 7},
+		{LWG: "a", View: vid(3, 1), HWG: 5},
+	}
+	if got := PreferredHWG(entries); got != 7 {
+		t.Errorf("PreferredHWG = %v, want 7 (highest gid wins, §6.2)", got)
+	}
+	if got := PreferredHWG(nil); got != ids.NoHWG {
+		t.Errorf("PreferredHWG(nil) = %v, want NoHWG", got)
+	}
+}

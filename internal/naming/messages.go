@@ -1,0 +1,172 @@
+package naming
+
+import (
+	"time"
+
+	"plwg/internal/ids"
+	"plwg/internal/netsim"
+)
+
+// Address prefixes. Servers listen on ServerPrefix, clients receive
+// replies on ClientPrefix, and the light-weight group layer receives
+// MULTIPLE-MAPPINGS callbacks on CallbackPrefix.
+const (
+	ServerPrefix   = "ns"
+	ClientPrefix   = "nsc"
+	CallbackPrefix = "nscb"
+)
+
+// op is a naming-service operation code.
+type op int
+
+const (
+	opSetView op = iota + 1
+	opReadLive
+	opTestSet
+	opDelete
+)
+
+func (o op) String() string {
+	switch o {
+	case opSetView:
+		return "set-view"
+	case opReadLive:
+		return "read-live"
+	case opTestSet:
+		return "test-set"
+	case opDelete:
+		return "delete"
+	default:
+		return "unknown"
+	}
+}
+
+// msgRequest is a client request to one name server.
+type msgRequest struct {
+	ReqID uint64
+	From  ids.ProcessID
+	Op    op
+	LWG   ids.LWGID
+	Entry Entry // for set-view / test-set / delete
+}
+
+// WireSize implements netsim.Message.
+func (m *msgRequest) WireSize() int { return 32 + m.Entry.wireSize() }
+
+// Kind implements netsim.Kinder.
+func (m *msgRequest) Kind() string { return "naming" }
+
+// msgReply answers a client request with the live mappings of the LWG as
+// the server now sees them.
+type msgReply struct {
+	ReqID   uint64
+	Entries []Entry
+}
+
+// WireSize implements netsim.Message.
+func (m *msgReply) WireSize() int {
+	n := 16
+	for _, e := range m.Entries {
+		n += e.wireSize()
+	}
+	return n
+}
+
+// Kind implements netsim.Kinder.
+func (m *msgReply) Kind() string { return "naming" }
+
+// msgSync is the anti-entropy exchange: a full copy of the sender's
+// database. Reply defers a symmetric copy so one round makes both sides
+// equal (push-pull).
+type msgSync struct {
+	From    ids.ProcessID
+	Entries []Entry
+	Reply   bool
+}
+
+// WireSize implements netsim.Message.
+func (m *msgSync) WireSize() int {
+	n := 24
+	for _, e := range m.Entries {
+		n += e.wireSize()
+	}
+	return n
+}
+
+// Kind implements netsim.Kinder.
+func (m *msgSync) Kind() string { return "naming-sync" }
+
+// MsgMultipleMappings is the callback of Section 6.1: the naming service
+// detected that concurrent views of LWG are mapped onto different HWGs.
+// It carries all the mappings stored for the LWG and is unicast to the
+// coordinator of every affected view.
+type MsgMultipleMappings struct {
+	LWG      ids.LWGID
+	Mappings []Entry
+}
+
+// WireSize implements netsim.Message.
+func (m *MsgMultipleMappings) WireSize() int {
+	n := 16
+	for _, e := range m.Mappings {
+		n += e.wireSize()
+	}
+	return n
+}
+
+// Kind implements netsim.Kinder.
+func (m *MsgMultipleMappings) Kind() string { return "naming-cb" }
+
+var (
+	_ netsim.Message = (*msgRequest)(nil)
+	_ netsim.Message = (*msgReply)(nil)
+	_ netsim.Message = (*msgSync)(nil)
+	_ netsim.Message = (*MsgMultipleMappings)(nil)
+)
+
+// Config holds the naming-service timers.
+type Config struct {
+	// RequestTimeout bounds one client request to one server before the
+	// client fails over to the next server.
+	RequestTimeout time.Duration
+	// SyncInterval is the anti-entropy period between servers.
+	SyncInterval time.Duration
+	// NotifyInterval is the period at which persisting conflicts are
+	// re-announced to the affected view coordinators.
+	NotifyInterval time.Duration
+	// MappingTTL is the mapping lease: entries not refreshed within the
+	// TTL are expired (collects mappings of views whose members all
+	// crashed). Zero disables expiry. Coordinators refresh on
+	// core.Config.MappingRefreshInterval, which must be well below this.
+	MappingTTL time.Duration
+}
+
+// DefaultConfig returns timers sized for the simulated testbed.
+func DefaultConfig() Config {
+	return Config{
+		RequestTimeout: 150 * time.Millisecond,
+		SyncInterval:   300 * time.Millisecond,
+		NotifyInterval: 500 * time.Millisecond,
+		MappingTTL:     60 * time.Second,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = d.RequestTimeout
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = d.SyncInterval
+	}
+	if c.NotifyInterval <= 0 {
+		c.NotifyInterval = d.NotifyInterval
+	}
+	if c.MappingTTL == 0 {
+		c.MappingTTL = d.MappingTTL
+	}
+	if c.MappingTTL < 0 {
+		c.MappingTTL = 0 // explicit "disabled"
+	}
+	return c
+}

@@ -1,0 +1,273 @@
+package naming
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"plwg/internal/ids"
+	"plwg/internal/netsim"
+	"plwg/internal/sim"
+	"plwg/internal/trace"
+)
+
+// Server is one name-server replica. Servers are "physically placed in
+// strategic locations" (Section 5.2) — in the simulation, on a chosen
+// subset of the nodes, e.g. one per prospective partition — and reconcile
+// their databases by periodic push-pull anti-entropy, which also performs
+// the database reconciliation when a partition heals.
+type Server struct {
+	pid    ids.ProcessID
+	net    netsim.Transport
+	clock  *sim.Sim
+	cfg    Config
+	db     *DB
+	peers  []ids.ProcessID // other servers, in ring order
+	next   int             // round-robin anti-entropy cursor
+	tracer trace.Tracer
+
+	// notified remembers the last conflict snapshot announced per LWG so
+	// unchanged conflicts are re-announced only by the periodic timer.
+	notified map[ids.LWGID]string
+
+	syncTicker   *sim.Ticker
+	notifyTicker *sim.Ticker
+	expireTicker *sim.Ticker
+}
+
+// ServerParams bundles the dependencies of a Server.
+type ServerParams struct {
+	Net    netsim.Transport
+	PID    ids.ProcessID
+	Peers  []ids.ProcessID // all server pids (may include PID)
+	Config Config
+	Tracer trace.Tracer
+}
+
+// NewServer creates a name server on the node. The caller must route mux
+// prefix ServerPrefix to HandleMessage and call Start.
+func NewServer(p ServerParams) *Server {
+	tr := p.Tracer
+	if tr == nil {
+		tr = trace.Nop{}
+	}
+	var peers []ids.ProcessID
+	for _, q := range p.Peers {
+		if q != p.PID {
+			peers = append(peers, q)
+		}
+	}
+	return &Server{
+		pid:      p.PID,
+		net:      p.Net,
+		clock:    p.Net.Sim(),
+		cfg:      p.Config.withDefaults(),
+		db:       NewDB(),
+		peers:    peers,
+		tracer:   tr,
+		notified: make(map[ids.LWGID]string),
+	}
+}
+
+// Start arms the anti-entropy and conflict-notification timers.
+func (s *Server) Start() {
+	if s.syncTicker != nil {
+		return
+	}
+	// Stagger by pid so servers do not sync in lockstep.
+	phase := s.cfg.SyncInterval * time.Duration(int(s.pid)%7) / 7
+	s.clock.After(phase, func() {
+		if s.syncTicker != nil {
+			return
+		}
+		s.syncTicker = s.clock.Every(s.cfg.SyncInterval, s.antiEntropy)
+		s.notifyTicker = s.clock.Every(s.cfg.NotifyInterval, s.renotifyConflicts)
+		if s.cfg.MappingTTL > 0 {
+			s.expireTicker = s.clock.Every(s.cfg.MappingTTL/4, s.expireLeases)
+		}
+	})
+}
+
+// filterLapsed drops entries whose lease has already lapsed. Without this
+// admission check, two servers with offset expiry scans resurrect each
+// other's garbage through anti-entropy forever: each deletes the entry,
+// then re-learns it from the peer before the peer's own scan fires.
+func (s *Server) filterLapsed(entries []Entry) []Entry {
+	if s.cfg.MappingTTL <= 0 {
+		return entries
+	}
+	cutoff := int64(s.clock.Now()) - int64(s.cfg.MappingTTL)
+	out := entries[:0]
+	for _, e := range entries {
+		if e.Refreshed >= cutoff {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// expireLeases collects mappings whose lease lapsed (dead-view garbage).
+func (s *Server) expireLeases() {
+	if s.db.Expire(int64(s.clock.Now()), s.cfg.MappingTTL) {
+		s.trace("expire", "collected lapsed mapping leases")
+		for _, lwg := range s.db.LWGs() {
+			s.checkConflict(lwg)
+		}
+	}
+}
+
+// Stop cancels the server's timers.
+func (s *Server) Stop() {
+	if s.syncTicker != nil {
+		s.syncTicker.Stop()
+		s.syncTicker = nil
+	}
+	if s.notifyTicker != nil {
+		s.notifyTicker.Stop()
+		s.notifyTicker = nil
+	}
+	if s.expireTicker != nil {
+		s.expireTicker.Stop()
+		s.expireTicker = nil
+	}
+}
+
+// DB exposes the server's database for introspection (scenario dumps of
+// Tables 3 and 4).
+func (s *Server) DB() *DB { return s.db }
+
+// PID returns the server's node.
+func (s *Server) PID() ids.ProcessID { return s.pid }
+
+// HandleMessage is the network receive entry point for ServerPrefix.
+func (s *Server) HandleMessage(from netsim.NodeID, _ netsim.Addr, msg netsim.Message) {
+	switch m := msg.(type) {
+	case *msgRequest:
+		s.onRequest(from, m)
+	case *msgSync:
+		s.onSync(m)
+	}
+}
+
+func (s *Server) onRequest(from netsim.NodeID, r *msgRequest) {
+	changed := false
+	switch r.Op {
+	case opSetView:
+		changed = s.db.Put(r.Entry)
+	case opTestSet:
+		// Atomic at this server: install the mapping only if the LWG has
+		// no live mapping yet; either way the reply carries the current
+		// live set.
+		if len(s.db.Live(r.LWG)) == 0 {
+			changed = s.db.Put(r.Entry)
+		}
+	case opDelete:
+		e := r.Entry
+		e.Deleted = true
+		changed = s.db.Put(e)
+	case opReadLive:
+		// read-only
+	}
+	s.net.Unicast(s.pid, from, ClientPrefix, &msgReply{
+		ReqID:   r.ReqID,
+		Entries: s.db.Live(r.LWG),
+	})
+	if changed {
+		s.trace("update", "%s %s by %v", r.Op, r.LWG, from)
+		s.checkConflict(r.LWG)
+	}
+}
+
+// antiEntropy pushes the full database to the next peer in the ring; the
+// peer merges and answers with its own database (push-pull), so one
+// exchange reconciles both replicas — including after a partition heals.
+func (s *Server) antiEntropy() {
+	if len(s.peers) == 0 {
+		return
+	}
+	peer := s.peers[s.next%len(s.peers)]
+	s.next++
+	s.net.Unicast(s.pid, peer, ServerPrefix, &msgSync{From: s.pid, Entries: s.db.All()})
+}
+
+func (s *Server) onSync(m *msgSync) {
+	changed := s.db.Merge(s.filterLapsed(m.Entries))
+	if !m.Reply {
+		s.net.Unicast(s.pid, m.From, ServerPrefix, &msgSync{
+			From: s.pid, Entries: s.db.All(), Reply: true,
+		})
+	}
+	if changed {
+		s.trace("reconcile", "merged %d entries from %v", len(m.Entries), m.From)
+		for _, lwg := range s.db.LWGs() {
+			s.checkConflict(lwg)
+		}
+	}
+}
+
+// checkConflict sends MULTIPLE-MAPPINGS to the coordinator of every live
+// view of the LWG when concurrent views are mapped onto different HWGs
+// (the global peer discovery of Section 6.1).
+func (s *Server) checkConflict(lwg ids.LWGID) {
+	if !s.db.Conflict(lwg) {
+		delete(s.notified, lwg)
+		return
+	}
+	live := s.db.Live(lwg)
+	snap := snapshot(live)
+	if s.notified[lwg] == snap {
+		return // unchanged; the periodic timer re-announces
+	}
+	s.notified[lwg] = snap
+	s.notify(lwg, live)
+}
+
+// renotifyConflicts periodically re-announces persisting conflicts, in
+// case an earlier callback was lost to a partition or raced a view
+// change.
+func (s *Server) renotifyConflicts() {
+	for _, lwg := range s.db.LWGs() {
+		if s.db.Conflict(lwg) {
+			live := s.db.Live(lwg)
+			s.notified[lwg] = snapshot(live)
+			s.notify(lwg, live)
+		}
+	}
+}
+
+func (s *Server) notify(lwg ids.LWGID, live []Entry) {
+	targets := make(map[ids.ProcessID]bool)
+	for _, e := range live {
+		targets[e.View.Coord] = true
+	}
+	coords := make(ids.Members, 0, len(targets))
+	for coord := range targets {
+		coords = append(coords, coord)
+	}
+	coords = ids.NewMembers(coords...) // deterministic emission order
+	s.trace("multiple-mappings", "%s has %d conflicting mappings", lwg, len(live))
+	for _, coord := range coords {
+		s.net.Unicast(s.pid, coord, CallbackPrefix, &MsgMultipleMappings{
+			LWG:      lwg,
+			Mappings: append([]Entry(nil), live...),
+		})
+	}
+}
+
+func snapshot(es []Entry) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = fmt.Sprintf("%v>%v@%d", e.View, e.HWG, e.Ver)
+	}
+	return strings.Join(parts, ";")
+}
+
+func (s *Server) trace(what, format string, args ...any) {
+	s.tracer.Trace(trace.Event{
+		At:    s.clock.Now(),
+		Node:  s.pid,
+		Layer: "ns",
+		What:  what,
+		Text:  fmt.Sprintf(format, args...),
+	})
+}

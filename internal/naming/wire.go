@@ -1,0 +1,19 @@
+package naming
+
+import (
+	"encoding/gob"
+	"sync"
+)
+
+var registerOnce sync.Once
+
+// RegisterWireTypes registers the naming service's message types with
+// encoding/gob, for transports that serialize messages.
+func RegisterWireTypes() {
+	registerOnce.Do(func() {
+		gob.Register(&msgRequest{})
+		gob.Register(&msgReply{})
+		gob.Register(&msgSync{})
+		gob.Register(&MsgMultipleMappings{})
+	})
+}

@@ -1,0 +1,40 @@
+package netsim
+
+import "strings"
+
+// Mux dispatches a node's incoming messages to protocol endpoints by
+// address prefix. A node hosts several stacked subsystems (the
+// heavy-weight-group layer, the light-weight-group layer, a naming-service
+// client and possibly a naming server); each claims an address prefix.
+//
+// Addresses use the convention "<prefix>/<rest>" (e.g. "hwg/17"); a handler
+// registered for "hwg" receives every message whose address is "hwg" or
+// starts with "hwg/".
+type Mux struct {
+	handlers map[string]Handler
+}
+
+// NewMux returns an empty mux.
+func NewMux() *Mux {
+	return &Mux{handlers: make(map[string]Handler)}
+}
+
+// Handle registers h for the given address prefix, replacing any previous
+// registration.
+func (m *Mux) Handle(prefix string, h Handler) {
+	m.handlers[prefix] = h
+}
+
+// Handler returns the netsim Handler that performs the dispatch. Messages
+// with no matching prefix are dropped.
+func (m *Mux) Handler() Handler {
+	return func(from NodeID, addr Addr, msg Message) {
+		prefix := string(addr)
+		if i := strings.IndexByte(prefix, '/'); i >= 0 {
+			prefix = prefix[:i]
+		}
+		if h, ok := m.handlers[prefix]; ok {
+			h(from, addr, msg)
+		}
+	}
+}

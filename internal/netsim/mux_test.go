@@ -1,0 +1,104 @@
+package netsim
+
+import (
+	"testing"
+
+	"plwg/internal/sim"
+)
+
+func TestMuxDispatchByPrefix(t *testing.T) {
+	s := sim.New(1)
+	nw := New(s, DefaultParams())
+	mux := NewMux()
+	var hwgGot, nsGot []Addr
+	mux.Handle("hwg", func(_ NodeID, addr Addr, _ Message) { hwgGot = append(hwgGot, addr) })
+	mux.Handle("ns", func(_ NodeID, addr Addr, _ Message) { nsGot = append(nsGot, addr) })
+	nw.AddNode(0, nil)
+	nw.AddNode(1, mux.Handler())
+	nw.Subscribe(1, "hwg/17")
+	nw.Subscribe(1, "ns")
+	nw.Subscribe(1, "other/1")
+
+	nw.Multicast(0, "hwg/17", RawMessage{Bytes: 10})
+	nw.Multicast(0, "ns", RawMessage{Bytes: 10})
+	nw.Multicast(0, "other/1", RawMessage{Bytes: 10}) // no handler: dropped
+	nw.Unicast(0, 1, "ns", RawMessage{Bytes: 10})
+	s.Run()
+
+	if len(hwgGot) != 1 || hwgGot[0] != "hwg/17" {
+		t.Errorf("hwg handler got %v", hwgGot)
+	}
+	if len(nsGot) != 2 {
+		t.Errorf("ns handler got %v", nsGot)
+	}
+}
+
+func TestMuxExactPrefixBoundaries(t *testing.T) {
+	s := sim.New(1)
+	nw := New(s, DefaultParams())
+	mux := NewMux()
+	var got int
+	mux.Handle("hwg", func(NodeID, Addr, Message) { got++ })
+	nw.AddNode(0, nil)
+	nw.AddNode(1, mux.Handler())
+	// "hwgx" must NOT match the "hwg" prefix (no separator).
+	nw.Subscribe(1, "hwgx")
+	nw.Multicast(0, "hwgx", RawMessage{Bytes: 1})
+	s.Run()
+	if got != 0 {
+		t.Error(`address "hwgx" must not dispatch to prefix "hwg"`)
+	}
+}
+
+func TestPointToPointModeParallelism(t *testing.T) {
+	// Two senders transmitting simultaneously: on the shared bus their
+	// frames serialize; on point-to-point links they arrive in parallel.
+	arrivalSpread := func(p2p bool) sim.Time {
+		s := sim.New(1)
+		params := DefaultParams()
+		params.PointToPoint = p2p
+		params.CPUPerMsg = 0
+		params.CPUPerKB = 0
+		nw := New(s, params)
+		var times []sim.Time
+		nw.AddNode(0, nil)
+		nw.AddNode(1, nil)
+		nw.AddNode(2, func(NodeID, Addr, Message) { times = append(times, s.Now()) })
+		nw.Subscribe(2, "g")
+		nw.Multicast(0, "g", RawMessage{Bytes: 5000})
+		nw.Multicast(1, "g", RawMessage{Bytes: 5000})
+		s.Run()
+		if len(times) != 2 {
+			t.Fatalf("got %d deliveries", len(times))
+		}
+		return times[1] - times[0]
+	}
+	busSpread := arrivalSpread(false)
+	p2pSpread := arrivalSpread(true)
+	if busSpread <= 0 {
+		t.Errorf("shared bus must serialize: spread %v", busSpread)
+	}
+	if p2pSpread != 0 {
+		t.Errorf("point-to-point must deliver in parallel: spread %v", p2pSpread)
+	}
+}
+
+func TestPointToPointSerializesPerSender(t *testing.T) {
+	// One sender's frames still serialize on its own NIC.
+	s := sim.New(1)
+	params := DefaultParams()
+	params.PointToPoint = true
+	params.CPUPerMsg = 0
+	params.CPUPerKB = 0
+	nw := New(s, params)
+	var times []sim.Time
+	nw.AddNode(0, nil)
+	nw.AddNode(1, func(NodeID, Addr, Message) { times = append(times, s.Now()) })
+	nw.Subscribe(1, "g")
+	nw.Multicast(0, "g", RawMessage{Bytes: 5000})
+	nw.Multicast(0, "g", RawMessage{Bytes: 5000})
+	s.Run()
+	if len(times) != 2 || times[1] == times[0] {
+		t.Errorf("per-sender NIC must serialize its own frames: %v", times)
+	}
+}

@@ -1,0 +1,293 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"plwg/internal/sim"
+)
+
+type rx struct {
+	from NodeID
+	addr Addr
+	msg  Message
+	at   sim.Time
+}
+
+type recorder struct {
+	s    *sim.Sim
+	msgs []rx
+}
+
+func (r *recorder) handler() Handler {
+	return func(from NodeID, addr Addr, msg Message) {
+		r.msgs = append(r.msgs, rx{from: from, addr: addr, msg: msg, at: r.s.Now()})
+	}
+}
+
+func testNet(t *testing.T) (*sim.Sim, *Network, map[NodeID]*recorder) {
+	t.Helper()
+	s := sim.New(7)
+	nw := New(s, DefaultParams())
+	recs := make(map[NodeID]*recorder)
+	for id := NodeID(0); id < 4; id++ {
+		r := &recorder{s: s}
+		recs[id] = r
+		nw.AddNode(id, r.handler())
+	}
+	return s, nw, recs
+}
+
+func TestMulticastDeliversToSubscribersOnly(t *testing.T) {
+	s, nw, recs := testNet(t)
+	nw.Subscribe(0, "g")
+	nw.Subscribe(1, "g")
+	nw.Subscribe(2, "other")
+
+	nw.Multicast(0, "g", RawMessage{Bytes: 100})
+	s.Run()
+
+	if len(recs[0].msgs) != 1 {
+		t.Errorf("sender loopback: got %d deliveries, want 1", len(recs[0].msgs))
+	}
+	if len(recs[1].msgs) != 1 {
+		t.Errorf("subscriber: got %d deliveries, want 1", len(recs[1].msgs))
+	}
+	if len(recs[2].msgs) != 0 {
+		t.Errorf("non-subscriber of addr got %d deliveries", len(recs[2].msgs))
+	}
+	if len(recs[3].msgs) != 0 {
+		t.Errorf("unsubscribed node got %d deliveries", len(recs[3].msgs))
+	}
+}
+
+func TestUnicast(t *testing.T) {
+	s, nw, recs := testNet(t)
+	nw.Unicast(0, 3, "ep", RawMessage{Bytes: 10})
+	s.Run()
+	if len(recs[3].msgs) != 1 || recs[3].msgs[0].from != 0 {
+		t.Fatalf("unicast not delivered: %+v", recs[3].msgs)
+	}
+	for id := NodeID(0); id < 3; id++ {
+		if len(recs[id].msgs) != 0 {
+			t.Errorf("node %v received a unicast not addressed to it", id)
+		}
+	}
+}
+
+func TestBusSerialization(t *testing.T) {
+	// Two frames sent at the same instant must serialize on the bus: the
+	// second arrives one transmission time after the first.
+	s, nw, recs := testNet(t)
+	nw.Subscribe(1, "g")
+	nw.Multicast(0, "g", RawMessage{Bytes: 1000})
+	nw.Multicast(2, "g", RawMessage{Bytes: 1000})
+	s.Run()
+
+	if len(recs[1].msgs) != 2 {
+		t.Fatalf("got %d deliveries, want 2", len(recs[1].msgs))
+	}
+	frame := (1000 + nw.Params().FrameOverheadBytes) * 8
+	tx := time.Duration(float64(frame) / nw.Params().BandwidthBps * float64(time.Second))
+	gap := recs[1].msgs[1].at.Sub(recs[1].msgs[0].at)
+	// The receiver CPU may also space deliveries; the gap must be at
+	// least one transmission time.
+	if gap < tx {
+		t.Errorf("frames did not serialize: gap %v < tx %v", gap, tx)
+	}
+}
+
+func TestPartitionBlocksDelivery(t *testing.T) {
+	s, nw, recs := testNet(t)
+	nw.Subscribe(1, "g")
+	nw.Subscribe(2, "g")
+	nw.SetPartitions([]NodeID{0, 1}, []NodeID{2, 3})
+
+	nw.Multicast(0, "g", RawMessage{Bytes: 100})
+	s.Run()
+
+	if len(recs[1].msgs) != 1 {
+		t.Errorf("same-side node: got %d deliveries, want 1", len(recs[1].msgs))
+	}
+	if len(recs[2].msgs) != 0 {
+		t.Errorf("cross-partition node received %d frames", len(recs[2].msgs))
+	}
+	if !nw.Reachable(0, 1) || nw.Reachable(0, 2) {
+		t.Error("Reachable inconsistent with partition")
+	}
+}
+
+func TestHealRestoresDelivery(t *testing.T) {
+	s, nw, recs := testNet(t)
+	nw.Subscribe(2, "g")
+	nw.SetPartitions([]NodeID{0, 1}, []NodeID{2, 3})
+	nw.Heal()
+	nw.Multicast(0, "g", RawMessage{Bytes: 100})
+	s.Run()
+	if len(recs[2].msgs) != 1 {
+		t.Errorf("after heal: got %d deliveries, want 1", len(recs[2].msgs))
+	}
+}
+
+func TestInFlightFrameAtPartitionTime(t *testing.T) {
+	// A frame sent just before the partition is evaluated at delivery
+	// time: it must not cross the new boundary. This is the divergence
+	// window the flush protocol exists for.
+	s, nw, recs := testNet(t)
+	nw.Subscribe(1, "g")
+	nw.Subscribe(2, "g")
+	nw.Multicast(0, "g", RawMessage{Bytes: 1000})
+	// Partition strikes while the frame is in flight.
+	s.After(time.Microsecond, func() {
+		nw.SetPartitions([]NodeID{0, 1}, []NodeID{2, 3})
+	})
+	s.Run()
+	if len(recs[1].msgs) != 1 {
+		t.Errorf("same-side delivery suppressed: %d", len(recs[1].msgs))
+	}
+	if len(recs[2].msgs) != 0 {
+		t.Errorf("cross-partition in-flight frame delivered: %d", len(recs[2].msgs))
+	}
+}
+
+func TestCrashedNodeSendsAndReceivesNothing(t *testing.T) {
+	s, nw, recs := testNet(t)
+	nw.Subscribe(1, "g")
+	nw.Crash(1)
+	nw.Multicast(0, "g", RawMessage{Bytes: 100})
+	nw.Crash(2)
+	nw.Multicast(2, "g", RawMessage{Bytes: 100}) // silently dropped
+	s.Run()
+	if len(recs[1].msgs) != 0 {
+		t.Errorf("crashed node received %d frames", len(recs[1].msgs))
+	}
+	st := nw.Stats()
+	if st.Frames != 1 {
+		t.Errorf("crashed sender put a frame on the bus: frames = %d", st.Frames)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s, nw, _ := testNet(t)
+	nw.Subscribe(1, "g")
+	nw.Subscribe(2, "g")
+	nw.Multicast(0, "g", RawMessage{Bytes: 500, Label: "data"})
+	nw.Multicast(1, "g", RawMessage{Bytes: 64, Label: "ack"})
+	s.Run()
+
+	st := nw.Stats()
+	if st.Frames != 2 {
+		t.Errorf("Frames = %d, want 2", st.Frames)
+	}
+	wantBytes := int64(500 + 64 + 2*nw.Params().FrameOverheadBytes)
+	if st.Bytes != wantBytes {
+		t.Errorf("Bytes = %d, want %d", st.Bytes, wantBytes)
+	}
+	if st.ByKind["data"] != 1 || st.ByKind["ack"] != 1 {
+		t.Errorf("ByKind = %v", st.ByKind)
+	}
+	// First frame: subscribers 1,2 (sender 0 not subscribed) = 2;
+	// second: subscribers 1 (loopback), 2 = 2.
+	if st.Delivered != 4 {
+		t.Errorf("Delivered = %d, want 4", st.Delivered)
+	}
+	nw.ResetStats()
+	if st := nw.Stats(); st.Frames != 0 || len(st.ByKind) != 0 {
+		t.Errorf("ResetStats did not clear counters: %+v", st)
+	}
+}
+
+func TestReceiverCPUQueueing(t *testing.T) {
+	// A burst of frames must space out at the receiver by at least the
+	// per-message CPU cost: the receiver processes serially.
+	s := sim.New(1)
+	p := DefaultParams()
+	p.CPUPerMsg = 5 * time.Millisecond // dominate tx time
+	nw := New(s, p)
+	r := &recorder{s: s}
+	nw.AddNode(0, nil)
+	nw.AddNode(1, r.handler())
+	nw.Subscribe(1, "g")
+	for i := 0; i < 3; i++ {
+		nw.Multicast(0, "g", RawMessage{Bytes: 10})
+	}
+	s.Run()
+	if len(r.msgs) != 3 {
+		t.Fatalf("got %d deliveries, want 3", len(r.msgs))
+	}
+	for i := 1; i < 3; i++ {
+		gap := r.msgs[i].at.Sub(r.msgs[i-1].at)
+		if gap < p.CPUPerMsg {
+			t.Errorf("delivery %d gap %v < CPU cost %v", i, gap, p.CPUPerMsg)
+		}
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	s, nw, recs := testNet(t)
+	nw.Subscribe(1, "g")
+	nw.Unsubscribe(1, "g")
+	nw.Multicast(0, "g", RawMessage{Bytes: 10})
+	s.Run()
+	if len(recs[1].msgs) != 0 {
+		t.Errorf("unsubscribed node received %d frames", len(recs[1].msgs))
+	}
+	if nw.Subscribed(1, "g") {
+		t.Error("Subscribed must be false after Unsubscribe")
+	}
+}
+
+func TestDeterministicDeliveryOrder(t *testing.T) {
+	run := func() []NodeID {
+		s := sim.New(3)
+		nw := New(s, DefaultParams())
+		var order []NodeID
+		for id := NodeID(0); id < 4; id++ {
+			id := id
+			nw.AddNode(id, func(NodeID, Addr, Message) { order = append(order, id) })
+			nw.Subscribe(id, "g")
+		}
+		for i := 0; i < 5; i++ {
+			nw.Multicast(NodeID(i%4), "g", RawMessage{Bytes: 200})
+		}
+		s.Run()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic delivery count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic delivery order at %d", i)
+		}
+	}
+}
+
+func TestThroughputBoundedByBandwidth(t *testing.T) {
+	// Saturating sender: delivered payload bytes per second must not
+	// exceed the bus bandwidth.
+	s := sim.New(1)
+	p := DefaultParams()
+	nw := New(s, p)
+	var got int64
+	nw.AddNode(0, nil)
+	nw.AddNode(1, func(_ NodeID, _ Addr, m Message) { got += int64(m.WireSize()) })
+	nw.Subscribe(1, "g")
+
+	const msgSize = 1024
+	tk := s.Every(100*time.Microsecond, func() {
+		nw.Multicast(0, "g", RawMessage{Bytes: msgSize}) // ~82 Mbps offered
+	})
+	s.RunFor(time.Second)
+	tk.Stop()
+
+	gotBps := float64(got*8) / 1.0
+	if gotBps > p.BandwidthBps {
+		t.Errorf("delivered %v bps exceeds bus bandwidth %v", gotBps, p.BandwidthBps)
+	}
+	// It should also be close to saturation (> 80%).
+	if gotBps < 0.8*p.BandwidthBps {
+		t.Errorf("delivered only %v bps of a saturated %v bus", gotBps, p.BandwidthBps)
+	}
+}

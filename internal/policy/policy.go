@@ -1,0 +1,154 @@
+// Package policy implements the mapping heuristics of Figure 1 of the
+// paper: the predicates (minority, closeness) and the share, interference
+// and shrink rules that balance the twin goals of resource sharing and
+// interference minimization (Section 3.2).
+//
+// The rules are pure functions over membership sets, so every process
+// evaluating them on the same local knowledge reaches the same decision —
+// one of the paper's stability measures. Where several candidates match a
+// criterion, the total order of group identifiers breaks the tie (the
+// highest identifier wins, the same order used by partition
+// reconciliation in Section 6.2).
+package policy
+
+import (
+	"math"
+	"sort"
+
+	"plwg/internal/ids"
+)
+
+// Params are the configuration parameters of Figure 1. The paper's
+// prototype uses KM = KC = 4: a LWG is mapped onto a HWG only when their
+// common members exceed 75% of the HWG, and the mapping stays until the
+// overlap drops to 25% — a deliberate hysteresis that prevents mapping
+// oscillation.
+type Params struct {
+	// KM is k_m, the minority divisor.
+	KM int
+	// KC is k_c, the closeness divisor.
+	KC int
+}
+
+// DefaultParams returns the paper's prototype setting, k_m = k_c = 4.
+func DefaultParams() Params { return Params{KM: 4, KC: 4} }
+
+func (p Params) withDefaults() Params {
+	if p.KM <= 0 {
+		p.KM = 4
+	}
+	if p.KC <= 0 {
+		p.KC = 4
+	}
+	return p
+}
+
+// Minority reports whether g1 is a minority of g2: g1 ⊆ g2 and
+// |g1| ≤ |g2|/k_m.
+func Minority(g1, g2 ids.Members, p Params) bool {
+	p = p.withDefaults()
+	if !g1.SubsetOf(g2) {
+		return false
+	}
+	return len(g1)*p.KM <= len(g2)
+}
+
+// CloseEnough reports whether g1 and g2 are close enough: g1 ⊆ g2 and
+// |g2| − |g1| ≤ |g2|/k_c.
+func CloseEnough(g1, g2 ids.Members, p Params) bool {
+	p = p.withDefaults()
+	if !g1.SubsetOf(g2) {
+		return false
+	}
+	return (len(g2)-len(g1))*p.KC <= len(g2)
+}
+
+// ShouldCollapse evaluates the share rule for a pair of heavy-weight
+// groups with memberships h1 and h2: writing |h1| = n1 + k, |h2| = n2 + k
+// with k = |h1 ∩ h2|, the groups collapse when neither is a minority
+// subset of the other and k > √(2·n1·n2).
+func ShouldCollapse(h1, h2 ids.Members, p Params) bool {
+	k := len(h1.Intersect(h2))
+	n1 := len(h1) - k
+	n2 := len(h2) - k
+	sub1 := h1.SubsetOf(h2) && Minority(h1, h2, p)
+	sub2 := h2.SubsetOf(h1) && Minority(h2, h1, p)
+	if sub1 || sub2 {
+		return false
+	}
+	return float64(k) > math.Sqrt(2*float64(n1)*float64(n2))
+}
+
+// CollapseInto returns the surviving group of a collapse: the higher
+// group identifier wins, consistently with the reconciliation rule of
+// Section 6.2, so every process picks the same survivor.
+func CollapseInto(g1, g2 ids.HWGID) ids.HWGID {
+	if g1 > g2 {
+		return g1
+	}
+	return g2
+}
+
+// HWG describes one heavy-weight group known to the deciding process.
+type HWG struct {
+	GID     ids.HWGID
+	Members ids.Members
+}
+
+// InterferenceDecision is the outcome of the interference rule for one
+// light-weight group.
+type InterferenceDecision struct {
+	// Switch is true when the LWG should move off its current HWG.
+	Switch bool
+	// Target is the HWG to switch to; NoHWG when a fresh HWG with
+	// membership identical to the LWG should be created.
+	Target ids.HWGID
+}
+
+// Interference evaluates the interference rule for a light-weight group
+// with membership lwg currently mapped onto the HWG cur: if the LWG is a
+// minority of its HWG, switch it to a known HWG whose membership is close
+// enough, or to a fresh HWG otherwise. Among several close-enough
+// candidates the highest identifier wins.
+func Interference(lwg ids.Members, cur HWG, known []HWG, p Params) InterferenceDecision {
+	if !Minority(lwg, cur.Members, p) {
+		return InterferenceDecision{}
+	}
+	var best ids.HWGID
+	for _, h := range known {
+		if h.GID == cur.GID {
+			continue
+		}
+		if CloseEnough(lwg, h.Members, p) && h.GID > best {
+			best = h.GID
+		}
+	}
+	return InterferenceDecision{Switch: true, Target: best}
+}
+
+// ShouldShrink evaluates the shrink rule for one process: a member of a
+// heavy-weight group with no light-weight group mapped onto it (from this
+// process's perspective) should leave the HWG; a HWG abandoned by all
+// members is thereby deleted.
+func ShouldShrink(localLWGsOnHWG int) bool { return localLWGsOnHWG == 0 }
+
+// PickInitialHWG implements the optimistic creation-time mapping
+// (Section 3.2): a new LWG is assumed to resemble some existing group, so
+// it is mapped onto one of the HWGs its creator already belongs to — the
+// one whose membership is closest in size to the new group's expected
+// singleton start, with the group-identifier order breaking ties. It
+// returns NoHWG when the creator belongs to no HWG (a fresh HWG must be
+// created).
+func PickInitialHWG(known []HWG) ids.HWGID {
+	if len(known) == 0 {
+		return ids.NoHWG
+	}
+	sorted := append([]HWG(nil), known...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if len(sorted[i].Members) != len(sorted[j].Members) {
+			return len(sorted[i].Members) < len(sorted[j].Members)
+		}
+		return sorted[i].GID > sorted[j].GID
+	})
+	return sorted[0].GID
+}

@@ -1,0 +1,247 @@
+package policy
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"plwg/internal/ids"
+)
+
+func mm(ps ...ids.ProcessID) ids.Members { return ids.NewMembers(ps...) }
+
+func TestMinority(t *testing.T) {
+	p := DefaultParams() // k_m = 4
+	tests := []struct {
+		name   string
+		g1, g2 ids.Members
+		want   bool
+	}{
+		{"1 of 4 is minority", mm(1), mm(1, 2, 3, 4), true},
+		{"2 of 8 is minority", mm(1, 2), mm(1, 2, 3, 4, 5, 6, 7, 8), true},
+		{"2 of 4 is not", mm(1, 2), mm(1, 2, 3, 4), false},
+		{"not a subset", mm(1, 9), mm(1, 2, 3, 4, 5, 6, 7, 8), false},
+		{"1 of 3 is not (3/4 < 1)", mm(1), mm(1, 2, 3), false},
+		{"1 of 8", mm(1), mm(1, 2, 3, 4, 5, 6, 7, 8), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Minority(tt.g1, tt.g2, p); got != tt.want {
+				t.Errorf("Minority(%v,%v) = %v, want %v", tt.g1, tt.g2, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCloseEnough(t *testing.T) {
+	p := DefaultParams() // k_c = 4
+	tests := []struct {
+		name   string
+		g1, g2 ids.Members
+		want   bool
+	}{
+		{"identical", mm(1, 2, 3, 4), mm(1, 2, 3, 4), true},
+		{"3 of 4: diff 1 ≤ 1", mm(1, 2, 3), mm(1, 2, 3, 4), true},
+		{"2 of 4: diff 2 > 1", mm(1, 2), mm(1, 2, 3, 4), false},
+		{"6 of 8: diff 2 = 2", mm(1, 2, 3, 4, 5, 6), mm(1, 2, 3, 4, 5, 6, 7, 8), true},
+		{"5 of 8: diff 3 > 2", mm(1, 2, 3, 4, 5), mm(1, 2, 3, 4, 5, 6, 7, 8), false},
+		{"not subset", mm(9), mm(1, 2, 3, 4), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CloseEnough(tt.g1, tt.g2, p); got != tt.want {
+				t.Errorf("CloseEnough(%v,%v) = %v, want %v", tt.g1, tt.g2, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPaperHysteresis(t *testing.T) {
+	// Section 3.2: with k_m = k_c = 4, "for a LWG to be mapped on a HWG,
+	// the number of their common members must be greater than 75% of the
+	// size of the HWG, and the mapping remains stable until this number
+	// is reduced to 25%".
+	p := DefaultParams()
+	hwg := mm(1, 2, 3, 4, 5, 6, 7, 8)
+	// 75% (6 of 8) qualifies for mapping (close enough).
+	if !CloseEnough(mm(1, 2, 3, 4, 5, 6), hwg, p) {
+		t.Error("75% overlap should be close enough")
+	}
+	// 50% (4 of 8) does not qualify for mapping...
+	if CloseEnough(mm(1, 2, 3, 4), hwg, p) {
+		t.Error("50% overlap should not be close enough")
+	}
+	// ...but an existing mapping at 50% is kept (not yet a minority).
+	if Minority(mm(1, 2, 3, 4), hwg, p) {
+		t.Error("50% overlap must not trigger a switch")
+	}
+	// At 25% (2 of 8) the mapping finally breaks.
+	if !Minority(mm(1, 2), hwg, p) {
+		t.Error("25% overlap must trigger a switch")
+	}
+}
+
+func TestShouldCollapse(t *testing.T) {
+	p := DefaultParams()
+	tests := []struct {
+		name   string
+		h1, h2 ids.Members
+		want   bool
+	}{
+		// Identical membership: n1 = n2 = 0, k = 4 > 0 → collapse.
+		{"identical", mm(1, 2, 3, 4), mm(1, 2, 3, 4), true},
+		// Disjoint: k = 0 → no collapse.
+		{"disjoint", mm(1, 2, 3, 4), mm(5, 6, 7, 8), false},
+		// Subset and minority: keep separate (the small group would be
+		// drowned by the big one's traffic).
+		{"minority subset", mm(1), mm(1, 2, 3, 4), false},
+		// Subset but not minority: n1 = 0 → collapse (k=3 > 0).
+		{"large subset", mm(1, 2, 3), mm(1, 2, 3, 4), true},
+		// Heavy overlap: k=3, n1=n2=1, √2 ≈ 1.41 < 3 → collapse.
+		{"heavy overlap", mm(1, 2, 3, 4), mm(2, 3, 4, 5), true},
+		// Light overlap: k=1, n1=n2=3, √18 ≈ 4.24 > 1 → keep apart.
+		{"light overlap", mm(1, 2, 3, 9), mm(9, 6, 7, 8), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ShouldCollapse(tt.h1, tt.h2, p); got != tt.want {
+				t.Errorf("ShouldCollapse(%v,%v) = %v, want %v", tt.h1, tt.h2, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestShouldCollapseSymmetric(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randMembers(r))
+			vals[1] = reflect.ValueOf(randMembers(r))
+		},
+	}
+	p := DefaultParams()
+	prop := func(a, b ids.Members) bool {
+		return ShouldCollapse(a, b, p) == ShouldCollapse(b, a, p)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollapseInto(t *testing.T) {
+	if CollapseInto(3, 7) != 7 || CollapseInto(7, 3) != 7 {
+		t.Error("the higher group identifier must survive a collapse")
+	}
+}
+
+func TestInterference(t *testing.T) {
+	p := DefaultParams()
+	cur := HWG{GID: 1, Members: mm(1, 2, 3, 4, 5, 6, 7, 8)}
+	lwg := mm(1, 2) // 2 of 8 = minority → must switch
+
+	t.Run("switch to close-enough hwg", func(t *testing.T) {
+		known := []HWG{
+			cur,
+			{GID: 5, Members: mm(1, 2)},       // identical → close enough
+			{GID: 3, Members: mm(1, 2, 3)},    // diff 1 > 3/4 → not close
+			{GID: 9, Members: mm(5, 6, 7, 8)}, // not a superset
+		}
+		d := Interference(lwg, cur, known, p)
+		if !d.Switch || d.Target != 5 {
+			t.Errorf("decision = %+v, want switch to hwg5", d)
+		}
+	})
+
+	t.Run("ties break to highest gid", func(t *testing.T) {
+		known := []HWG{
+			cur,
+			{GID: 5, Members: mm(1, 2)},
+			{GID: 8, Members: mm(1, 2)},
+		}
+		d := Interference(lwg, cur, known, p)
+		if d.Target != 8 {
+			t.Errorf("target = %v, want 8 (highest gid wins)", d.Target)
+		}
+	})
+
+	t.Run("create new when nothing close", func(t *testing.T) {
+		d := Interference(lwg, cur, []HWG{cur}, p)
+		if !d.Switch || d.Target != ids.NoHWG {
+			t.Errorf("decision = %+v, want switch to a fresh hwg", d)
+		}
+	})
+
+	t.Run("no switch when not minority", func(t *testing.T) {
+		big := mm(1, 2, 3)
+		d := Interference(big, cur, nil, p)
+		if d.Switch {
+			t.Errorf("3 of 8 is not a minority; decision = %+v", d)
+		}
+	})
+}
+
+func TestInterferenceDeterministic(t *testing.T) {
+	// The same inputs must always produce the same decision regardless of
+	// candidate order (another of the paper's stability measures).
+	p := DefaultParams()
+	cur := HWG{GID: 1, Members: mm(1, 2, 3, 4, 5, 6, 7, 8)}
+	lwg := mm(1, 2)
+	known := []HWG{
+		{GID: 5, Members: mm(1, 2)},
+		{GID: 8, Members: mm(1, 2)},
+		{GID: 2, Members: mm(1, 2)},
+	}
+	want := Interference(lwg, cur, known, p)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		shuffled := append([]HWG(nil), known...)
+		r.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		if got := Interference(lwg, cur, shuffled, p); got != want {
+			t.Fatalf("order-dependent decision: %+v vs %+v", got, want)
+		}
+	}
+}
+
+func TestShouldShrink(t *testing.T) {
+	if !ShouldShrink(0) {
+		t.Error("a member with no local LWG must leave its HWG")
+	}
+	if ShouldShrink(1) {
+		t.Error("a member with local LWGs must stay")
+	}
+}
+
+func TestPickInitialHWG(t *testing.T) {
+	if got := PickInitialHWG(nil); got != ids.NoHWG {
+		t.Errorf("no known HWGs: got %v, want NoHWG", got)
+	}
+	known := []HWG{
+		{GID: 2, Members: mm(1, 2, 3, 4, 5)},
+		{GID: 7, Members: mm(1, 2)},
+		{GID: 4, Members: mm(1, 2)},
+	}
+	// Smallest membership wins; among equals, the highest gid.
+	if got := PickInitialHWG(known); got != 7 {
+		t.Errorf("PickInitialHWG = %v, want 7", got)
+	}
+}
+
+func TestZeroParamsUseDefaults(t *testing.T) {
+	// A zero Params behaves like the paper's k_m = k_c = 4.
+	if Minority(mm(1), mm(1, 2, 3), Params{}) {
+		t.Error("zero params must default to k_m = 4")
+	}
+	if !Minority(mm(1), mm(1, 2, 3, 4), Params{}) {
+		t.Error("zero params must default to k_m = 4")
+	}
+}
+
+func randMembers(r *rand.Rand) ids.Members {
+	n := r.Intn(10)
+	ps := make([]ids.ProcessID, n)
+	for i := range ps {
+		ps[i] = ids.ProcessID(r.Intn(12))
+	}
+	return ids.NewMembers(ps...)
+}

@@ -1,0 +1,140 @@
+// Package rtnet runs the protocol stacks on a real network. The same
+// protocol code that runs under the deterministic simulator runs here
+// unchanged: a Driver executes a sim.Sim event loop in real time (timers
+// fire at wall-clock deadlines), and a Transport implements
+// netsim.Transport over UDP, emulating multicast by unicast fan-out with
+// receiver-side subscription filtering.
+//
+// Concurrency model: everything protocol-related (stacks, endpoints,
+// upcalls) runs on the driver's single loop goroutine — the same
+// single-threaded discipline the simulator enforces. External goroutines
+// (UDP readers, application code) enter the loop through Driver.Do.
+package rtnet
+
+import (
+	"sync"
+	"time"
+
+	"plwg/internal/sim"
+)
+
+// Driver executes a simulation engine in real time. Virtual time is
+// wall-clock time since Start.
+type Driver struct {
+	s     *sim.Sim
+	start time.Time
+
+	mu    sync.Mutex
+	inbox []func()
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+}
+
+// NewDriver creates a real-time driver around a fresh engine.
+func NewDriver(seed int64) *Driver {
+	return &Driver{
+		s:    sim.New(seed),
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Sim exposes the engine. Only code running on the loop goroutine (timer
+// callbacks and functions passed to Do) may touch it.
+func (d *Driver) Sim() *sim.Sim { return d.s }
+
+// Do schedules fn to run on the loop goroutine. It is safe to call from
+// any goroutine; fn runs at (approximately) the current wall-clock
+// instant of virtual time. Do never blocks on fn.
+func (d *Driver) Do(fn func()) {
+	d.mu.Lock()
+	d.inbox = append(d.inbox, fn)
+	d.mu.Unlock()
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Call runs fn on the loop goroutine and waits for it to finish — the
+// synchronous variant of Do, for application code that needs a result.
+func (d *Driver) Call(fn func()) {
+	ch := make(chan struct{})
+	d.Do(func() {
+		defer close(ch)
+		fn()
+	})
+	<-ch
+}
+
+// Start launches the loop goroutine.
+func (d *Driver) Start() {
+	d.startOnce.Do(func() {
+		d.start = time.Now()
+		go d.loop()
+	})
+}
+
+// Close stops the loop and waits for it to exit.
+func (d *Driver) Close() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	<-d.done
+}
+
+func (d *Driver) loop() {
+	defer close(d.done)
+	const idleSleep = 50 * time.Millisecond
+	for {
+		// Run everything due up to the current wall-clock instant.
+		now := sim.Time(time.Since(d.start))
+		d.s.RunUntil(now)
+
+		// Drain externally injected work (packets, application calls).
+		d.mu.Lock()
+		batch := d.inbox
+		d.inbox = nil
+		d.mu.Unlock()
+		for _, fn := range batch {
+			fn()
+		}
+		if len(batch) > 0 {
+			// The batch may have scheduled immediate events.
+			d.s.RunUntil(sim.Time(time.Since(d.start)))
+		}
+
+		// Sleep until the next timer deadline, an injection, or stop.
+		sleep := idleSleep
+		if next, ok := d.s.NextAt(); ok {
+			until := time.Duration(next - sim.Time(time.Since(d.start)))
+			if until < 0 {
+				until = 0
+			}
+			if until < sleep {
+				sleep = until
+			}
+		}
+		if sleep <= 0 {
+			select {
+			case <-d.stop:
+				return
+			default:
+				continue
+			}
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-d.stop:
+			timer.Stop()
+			return
+		case <-d.wake:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package rtnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// UDP datagrams top out near 64 KiB (and fragment at the IP layer long
+// before that); protocol messages — flush fills, naming databases, state
+// transfers — can exceed it. The transport therefore chunks every
+// encoded envelope into datagrams of at most fragPayload bytes and
+// reassembles on receipt. Loss of any chunk abandons the whole message
+// after a timeout, which is indistinguishable from losing the datagram —
+// the protocols already tolerate that.
+
+const (
+	// fragPayload is the chunk payload size: safely below common UDP
+	// socket buffer and loopback MTU limits.
+	fragPayload = 32 * 1024
+	// fragHeader is: magic(2) msgID(8) index(2) total(2).
+	fragHeader = 14
+	// fragTimeout abandons incomplete reassemblies.
+	fragTimeout = 5 * time.Second
+)
+
+var fragMagic = [2]byte{0xB6, 0x1D}
+
+// fragKey identifies a reassembly: datagrams carry no decoded sender
+// identity, so the remote socket address stands in for it.
+type fragKey struct {
+	from  string // remote UDP address
+	msgID uint64
+}
+
+type fragBuf struct {
+	chunks  [][]byte
+	have    int
+	started time.Time
+}
+
+// fragment splits an encoded envelope into datagram-sized chunks.
+func fragment(msgID uint64, data []byte) [][]byte {
+	total := (len(data) + fragPayload - 1) / fragPayload
+	if total == 0 {
+		total = 1
+	}
+	if total > 0xffff {
+		return nil // absurd; drop rather than overflow the header
+	}
+	out := make([][]byte, 0, total)
+	for i := 0; i < total; i++ {
+		lo := i * fragPayload
+		hi := lo + fragPayload
+		if hi > len(data) {
+			hi = len(data)
+		}
+		chunk := make([]byte, fragHeader+hi-lo)
+		chunk[0] = fragMagic[0]
+		chunk[1] = fragMagic[1]
+		binary.BigEndian.PutUint64(chunk[2:10], msgID)
+		binary.BigEndian.PutUint16(chunk[10:12], uint16(i))
+		binary.BigEndian.PutUint16(chunk[12:14], uint16(total))
+		copy(chunk[fragHeader:], data[lo:hi])
+		out = append(out, chunk)
+	}
+	return out
+}
+
+// reassembler rebuilds envelopes from chunks (single-goroutine: the UDP
+// read loop).
+type reassembler struct {
+	bufs map[fragKey]*fragBuf
+}
+
+func newReassembler() *reassembler {
+	return &reassembler{bufs: make(map[fragKey]*fragBuf)}
+}
+
+// add consumes one datagram and returns the completed envelope bytes
+// when the last chunk arrives.
+func (r *reassembler) add(from string, datagram []byte) ([]byte, error) {
+	if len(datagram) < fragHeader || datagram[0] != fragMagic[0] || datagram[1] != fragMagic[1] {
+		return nil, fmt.Errorf("not a fragment datagram")
+	}
+	msgID := binary.BigEndian.Uint64(datagram[2:10])
+	idx := int(binary.BigEndian.Uint16(datagram[10:12]))
+	total := int(binary.BigEndian.Uint16(datagram[12:14]))
+	if total == 0 || idx >= total {
+		return nil, fmt.Errorf("bad fragment header idx=%d total=%d", idx, total)
+	}
+	payload := datagram[fragHeader:]
+	if total == 1 {
+		out := make([]byte, len(payload))
+		copy(out, payload)
+		return out, nil
+	}
+	k := fragKey{from: from, msgID: msgID}
+	b := r.bufs[k]
+	if b == nil {
+		b = &fragBuf{chunks: make([][]byte, total), started: time.Now()}
+		r.bufs[k] = b
+	}
+	if len(b.chunks) != total {
+		// Conflicting totals: restart the buffer.
+		b = &fragBuf{chunks: make([][]byte, total), started: time.Now()}
+		r.bufs[k] = b
+	}
+	if b.chunks[idx] == nil {
+		b.chunks[idx] = append([]byte(nil), payload...)
+		b.have++
+	}
+	if b.have < total {
+		r.gc()
+		return nil, nil
+	}
+	delete(r.bufs, k)
+	var out []byte
+	for _, c := range b.chunks {
+		out = append(out, c...)
+	}
+	return out, nil
+}
+
+// gc abandons stale reassemblies.
+func (r *reassembler) gc() {
+	if len(r.bufs) < 64 {
+		return
+	}
+	cutoff := time.Now().Add(-fragTimeout)
+	for k, b := range r.bufs {
+		if b.started.Before(cutoff) {
+			delete(r.bufs, k)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package rtnet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"plwg/internal/core"
+	"plwg/internal/ids"
+)
+
+func TestFragmentRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, size := range []int{0, 1, 100, fragPayload, fragPayload + 1, 3*fragPayload + 17, 200_000} {
+		data := make([]byte, size)
+		r.Read(data)
+		chunks := fragment(42, data)
+		wantChunks := (size + fragPayload - 1) / fragPayload
+		if wantChunks == 0 {
+			wantChunks = 1
+		}
+		if len(chunks) != wantChunks {
+			t.Fatalf("size %d: %d chunks, want %d", size, len(chunks), wantChunks)
+		}
+		re := newReassembler()
+		var got []byte
+		for i, c := range chunks {
+			out, err := re.add("peer", c)
+			if err != nil {
+				t.Fatalf("size %d chunk %d: %v", size, i, err)
+			}
+			if i < len(chunks)-1 && out != nil {
+				t.Fatalf("size %d: completed early at chunk %d", size, i)
+			}
+			if i == len(chunks)-1 {
+				got = out
+			}
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("size %d: reassembly mismatch (%d vs %d bytes)", size, len(got), len(data))
+		}
+	}
+}
+
+func TestFragmentOutOfOrderAndDuplicates(t *testing.T) {
+	data := make([]byte, 5*fragPayload/2)
+	rand.New(rand.NewSource(2)).Read(data)
+	chunks := fragment(7, data)
+	re := newReassembler()
+	// Deliver in reverse with duplicates.
+	var got []byte
+	for i := len(chunks) - 1; i >= 0; i-- {
+		if out, _ := re.add("p", chunks[i]); out != nil {
+			got = out
+		}
+		if out, _ := re.add("p", chunks[i]); out != nil {
+			got = out
+		}
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("out-of-order reassembly failed")
+	}
+}
+
+func TestFragmentInterleavedSenders(t *testing.T) {
+	a := bytes.Repeat([]byte{0xAA}, 2*fragPayload)
+	b := bytes.Repeat([]byte{0xBB}, 2*fragPayload)
+	ca := fragment(1, a)
+	cb := fragment(1, b) // same msgID, different sender
+	re := newReassembler()
+	var gotA, gotB []byte
+	for i := range ca {
+		if out, _ := re.add("senderA", ca[i]); out != nil {
+			gotA = out
+		}
+		if out, _ := re.add("senderB", cb[i]); out != nil {
+			gotB = out
+		}
+	}
+	if !bytes.Equal(gotA, a) || !bytes.Equal(gotB, b) {
+		t.Fatal("interleaved senders corrupted reassembly")
+	}
+}
+
+func TestFragmentRejectsGarbage(t *testing.T) {
+	re := newReassembler()
+	if _, err := re.add("p", []byte{1, 2, 3}); err == nil {
+		t.Error("short datagram accepted")
+	}
+	bad := make([]byte, fragHeader+4)
+	bad[0] = fragMagic[0]
+	bad[1] = fragMagic[1]
+	// idx >= total
+	bad[10], bad[11] = 0, 5
+	bad[12], bad[13] = 0, 2
+	if _, err := re.add("p", bad); err == nil {
+		t.Error("bad header accepted")
+	}
+}
+
+// TestUDPLargeStateTransfer pushes a state snapshot bigger than a UDP
+// datagram through the real transport: fragmentation must carry it.
+func TestUDPLargeStateTransfer(t *testing.T) {
+	nodes, cols := startCluster(t, 2, []ids.ProcessID{0})
+	big := bytes.Repeat([]byte("whiteboard-stroke;"), 8_000) // ~144 KB
+
+	nodes[0].Do(func(ep *core.Endpoint) { _ = ep.Join("doc") })
+	time.Sleep(time.Second)
+	nodes[1].Do(func(ep *core.Endpoint) { _ = ep.Join("doc") })
+	eventually(t, 15*time.Second, func() bool {
+		v, ok := cols[0].lastView()
+		return ok && len(v.Members) == 2
+	}, "no convergence")
+
+	nodes[0].Do(func(ep *core.Endpoint) {
+		if err := ep.Send("doc", big); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	eventually(t, 15*time.Second, func() bool {
+		for _, d := range cols[1].dataCopy() {
+			if len(d) > len(big) { // "p0:" prefix + payload
+				return true
+			}
+		}
+		return false
+	}, "large payload not delivered over UDP")
+	for _, d := range cols[1].dataCopy() {
+		if len(d) > len(big) && d[3:] != string(big) {
+			t.Fatal("large payload corrupted")
+		}
+	}
+}

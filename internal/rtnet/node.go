@@ -1,0 +1,164 @@
+package rtnet
+
+import (
+	"fmt"
+	"net"
+
+	"plwg/internal/core"
+	"plwg/internal/ids"
+	"plwg/internal/naming"
+	"plwg/internal/netsim"
+	"plwg/internal/trace"
+	"plwg/internal/vsync"
+)
+
+// NodeConfig describes one live process of the light-weight group
+// service.
+type NodeConfig struct {
+	// PID is this process's identifier.
+	PID ids.ProcessID
+	// Listen is the UDP address to bind ("127.0.0.1:0" for an ephemeral
+	// port).
+	Listen string
+	// Peers maps every other process to its UDP address. It may be
+	// filled in after binding (see Node.SetPeers) when ports are
+	// ephemeral.
+	Peers map[ids.ProcessID]string
+	// NameServers lists the processes hosting naming replicas; if PID is
+	// among them, this node runs a server too.
+	NameServers []ids.ProcessID
+	// Service, Vsync and Naming override protocol configuration.
+	Service core.Config
+	Vsync   vsync.Config
+	Naming  naming.Config
+	// Upcalls receives View/Data callbacks — ON THE DRIVER LOOP
+	// GOROUTINE. Hand off to channels for application work.
+	Upcalls core.Upcalls
+	// Tracer records protocol events (optional).
+	Tracer trace.Tracer
+	// Seed seeds the node's local engine.
+	Seed int64
+}
+
+// Node is one live process: driver + UDP transport + LWG endpoint (and
+// possibly a naming server).
+type Node struct {
+	cfg NodeConfig
+	d   *Driver
+	tr  *Transport
+	ep  *core.Endpoint
+	srv *naming.Server
+	mux *netsim.Mux
+}
+
+// Listen binds the node's UDP socket. Call before Start; the bound
+// address (with the resolved ephemeral port) is available via Addr.
+func Listen(cfg NodeConfig) (*Node, error) {
+	core.RegisterWireTypes()
+	naming.RegisterWireTypes()
+
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("resolve %q: %w", cfg.Listen, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %q: %w", cfg.Listen, err)
+	}
+	// Large socket buffers absorb fan-out bursts; what still gets lost
+	// is repaired by the vsync layer's NACK machinery.
+	_ = conn.SetReadBuffer(4 << 20)
+	_ = conn.SetWriteBuffer(4 << 20)
+	d := NewDriver(cfg.Seed)
+	n := &Node{
+		cfg: cfg,
+		d:   d,
+		tr:  NewTransport(d, cfg.PID, conn, nil),
+		mux: netsim.NewMux(),
+	}
+	return n, nil
+}
+
+// Addr returns the bound UDP address.
+func (n *Node) Addr() *net.UDPAddr { return n.tr.LocalAddr() }
+
+// SetPeers installs (or replaces) the peer address book; required before
+// Start when NodeConfig.Peers was incomplete at Listen time.
+func (n *Node) SetPeers(peers map[ids.ProcessID]string) error {
+	resolved := make(map[ids.ProcessID]*net.UDPAddr, len(peers))
+	for p, a := range peers {
+		if p == n.cfg.PID {
+			continue
+		}
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			return fmt.Errorf("resolve peer %v %q: %w", p, a, err)
+		}
+		resolved[p] = ua
+	}
+	n.tr.peers = resolved
+	n.tr.order = nil
+	for p := range resolved {
+		n.tr.order = append(n.tr.order, p)
+	}
+	n.tr.order = []ids.ProcessID(ids.NewMembers(n.tr.order...))
+	return nil
+}
+
+// Start assembles the protocol stack and begins processing.
+func (n *Node) Start() error {
+	if len(n.tr.peers) == 0 && len(n.cfg.Peers) > 0 {
+		if err := n.SetPeers(n.cfg.Peers); err != nil {
+			return err
+		}
+	}
+	n.ep = core.New(core.Params{
+		Net:     n.tr,
+		PID:     n.cfg.PID,
+		Servers: n.cfg.NameServers,
+		Config:  n.cfg.Service,
+		Vsync:   n.cfg.Vsync,
+		Naming:  n.cfg.Naming,
+		Upcalls: n.cfg.Upcalls,
+		Tracer:  n.cfg.Tracer,
+	}, n.mux)
+	for _, sp := range n.cfg.NameServers {
+		if sp == n.cfg.PID {
+			n.srv = naming.NewServer(naming.ServerParams{
+				Net: n.tr, PID: n.cfg.PID, Peers: n.cfg.NameServers,
+				Config: n.cfg.Naming, Tracer: n.cfg.Tracer,
+			})
+			n.mux.Handle(naming.ServerPrefix, n.srv.HandleMessage)
+			n.srv.Start()
+		}
+	}
+	n.tr.SetHandler(n.mux.Handler())
+	n.tr.Start()
+	n.d.Start()
+	return nil
+}
+
+// Do runs fn against the endpoint on the protocol goroutine and waits
+// for it (the only safe way to issue Join/Leave/Send or read views from
+// application code).
+func (n *Node) Do(fn func(ep *core.Endpoint)) {
+	n.d.Call(func() { fn(n.ep) })
+}
+
+// Block injects a partition at this node: traffic to and from the given
+// peers is dropped until Unblock. Partition both sides symmetrically for
+// a faithful split.
+func (n *Node) Block(peers ...ids.ProcessID) {
+	n.d.Call(func() { n.tr.Block(peers...) })
+}
+
+// Unblock lifts all partition rules at this node.
+func (n *Node) Unblock() {
+	n.d.Call(func() { n.tr.Unblock() })
+}
+
+// Close stops the protocol loop and the transport.
+func (n *Node) Close() {
+	n.d.Close()
+	n.tr.Close()
+}

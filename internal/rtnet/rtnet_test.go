@@ -1,0 +1,337 @@
+package rtnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"plwg/internal/core"
+	"plwg/internal/ids"
+	"plwg/internal/vsync"
+)
+
+// collector receives upcalls (on the driver loop) and hands them to the
+// test goroutine.
+type collector struct {
+	mu    sync.Mutex
+	views []ids.View
+	data  []string
+}
+
+func (c *collector) View(_ ids.LWGID, v ids.View) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.views = append(c.views, v.Clone())
+}
+
+func (c *collector) Data(_ ids.LWGID, src ids.ProcessID, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.data = append(c.data, fmt.Sprintf("%v:%s", src, data))
+}
+
+func (c *collector) lastView() (ids.View, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.views) == 0 {
+		return ids.View{}, false
+	}
+	return c.views[len(c.views)-1], true
+}
+
+func (c *collector) dataCopy() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.data...)
+}
+
+// startCluster boots n nodes over real UDP on loopback with ephemeral
+// ports.
+func startCluster(t *testing.T, n int, servers []ids.ProcessID) ([]*Node, []*collector) {
+	t.Helper()
+	nodes := make([]*Node, n)
+	cols := make([]*collector, n)
+	for i := 0; i < n; i++ {
+		cols[i] = &collector{}
+		node, err := Listen(NodeConfig{
+			PID:         ids.ProcessID(i),
+			Listen:      "127.0.0.1:0",
+			NameServers: servers,
+			Upcalls:     cols[i],
+			Seed:        int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	peers := make(map[ids.ProcessID]string, n)
+	for i, node := range nodes {
+		peers[ids.ProcessID(i)] = node.Addr().String()
+	}
+	for _, node := range nodes {
+		if err := node.SetPeers(peers); err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			node.Close()
+		}
+	})
+	return nodes, cols
+}
+
+// eventually polls cond (on the test goroutine) until it holds or the
+// real-time deadline passes.
+func eventually(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("timeout: %s", msg)
+}
+
+// TestUDPClusterEndToEnd runs the full stack — vsync, naming, LWG service
+// — over real UDP sockets on loopback: join, converge, multicast, and
+// recover from a (process-level) crash.
+func TestUDPClusterEndToEnd(t *testing.T) {
+	nodes, cols := startCluster(t, 3, []ids.ProcessID{0})
+
+	for i := 0; i < 3; i++ {
+		nodes[i].Do(func(ep *core.Endpoint) {
+			if err := ep.Join("live"); err != nil {
+				t.Errorf("join at %d: %v", i, err)
+			}
+		})
+	}
+	eventually(t, 15*time.Second, func() bool {
+		v, ok := cols[0].lastView()
+		return ok && v.Members.Equal(ids.NewMembers(0, 1, 2))
+	}, "membership did not converge over UDP")
+
+	nodes[1].Do(func(ep *core.Endpoint) {
+		if err := ep.Send("live", []byte("over-the-wire")); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	})
+	eventually(t, 10*time.Second, func() bool {
+		for _, c := range []*collector{cols[0], cols[2]} {
+			found := false
+			for _, d := range c.dataCopy() {
+				if d == "p1:over-the-wire" {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}, "multicast not delivered over UDP")
+
+	// Kill node 2's process (close socket and loop): the survivors'
+	// failure detectors must trim the view.
+	nodes[2].Close()
+	eventually(t, 15*time.Second, func() bool {
+		v, ok := cols[0].lastView()
+		return ok && v.Members.Equal(ids.NewMembers(0, 1))
+	}, "view did not recover from the process crash")
+}
+
+// TestUDPLeave exercises the leave path over the real transport.
+func TestUDPLeave(t *testing.T) {
+	nodes, cols := startCluster(t, 2, []ids.ProcessID{0})
+	for i := 0; i < 2; i++ {
+		nodes[i].Do(func(ep *core.Endpoint) { _ = ep.Join("g") })
+	}
+	eventually(t, 15*time.Second, func() bool {
+		v, ok := cols[0].lastView()
+		return ok && len(v.Members) == 2
+	}, "no convergence")
+	nodes[1].Do(func(ep *core.Endpoint) { _ = ep.Leave("g") })
+	eventually(t, 10*time.Second, func() bool {
+		v, ok := cols[0].lastView()
+		return ok && v.Members.Equal(ids.NewMembers(0))
+	}, "leave did not shrink the view")
+}
+
+// TestUDPPartitionAndHeal runs the paper's headline scenario over real
+// UDP sockets: a partition splits the group, both sides keep operating
+// with concurrent views, and the heal merges them back.
+func TestUDPPartitionAndHeal(t *testing.T) {
+	nodes, cols := startCluster(t, 4, []ids.ProcessID{0, 2})
+	for i := 0; i < 4; i++ {
+		nodes[i].Do(func(ep *core.Endpoint) { _ = ep.Join("g") })
+	}
+	eventually(t, 20*time.Second, func() bool {
+		v, ok := cols[0].lastView()
+		return ok && len(v.Members) == 4
+	}, "initial convergence")
+
+	// Partition {0,1} | {2,3}.
+	nodes[0].Block(2, 3)
+	nodes[1].Block(2, 3)
+	nodes[2].Block(0, 1)
+	nodes[3].Block(0, 1)
+	eventually(t, 20*time.Second, func() bool {
+		vA, okA := cols[0].lastView()
+		vB, okB := cols[2].lastView()
+		return okA && okB &&
+			vA.Members.Equal(ids.NewMembers(0, 1)) &&
+			vB.Members.Equal(ids.NewMembers(2, 3))
+	}, "views did not split")
+
+	// Both sides make progress.
+	nodes[0].Do(func(ep *core.Endpoint) { _ = ep.Send("g", []byte("A")) })
+	nodes[2].Do(func(ep *core.Endpoint) { _ = ep.Send("g", []byte("B")) })
+
+	// Heal.
+	for _, n := range nodes {
+		n.Unblock()
+	}
+	eventually(t, 30*time.Second, func() bool {
+		vA, okA := cols[0].lastView()
+		vB, okB := cols[2].lastView()
+		return okA && okB && vA.ID == vB.ID && len(vA.Members) == 4
+	}, "views did not merge after the heal")
+}
+
+// TestUDPTotalOrder runs total-order delivery over real UDP: datagrams
+// from different senders genuinely race, and every member must still
+// deliver the identical sequence.
+func TestUDPTotalOrder(t *testing.T) {
+	nodes := make([]*Node, 3)
+	cols := make([]*collector, 3)
+	for i := 0; i < 3; i++ {
+		cols[i] = &collector{}
+		node, err := Listen(NodeConfig{
+			PID:         ids.ProcessID(i),
+			Listen:      "127.0.0.1:0",
+			NameServers: []ids.ProcessID{0},
+			Vsync:       vsync.Config{Ordering: vsync.OrderingTotal},
+			Upcalls:     cols[i],
+			Seed:        int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	peers := make(map[ids.ProcessID]string, 3)
+	for i, node := range nodes {
+		peers[ids.ProcessID(i)] = node.Addr().String()
+	}
+	for _, node := range nodes {
+		if err := node.SetPeers(peers); err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			node.Close()
+		}
+	})
+
+	for i := 0; i < 3; i++ {
+		nodes[i].Do(func(ep *core.Endpoint) { _ = ep.Join("ord") })
+	}
+	eventually(t, 20*time.Second, func() bool {
+		v, ok := cols[0].lastView()
+		return ok && len(v.Members) == 3
+	}, "no convergence")
+
+	// Concurrent bursts from all three nodes.
+	const perSender = 20
+	for r := 0; r < perSender; r++ {
+		for i := 0; i < 3; i++ {
+			i, r := i, r
+			nodes[i].Do(func(ep *core.Endpoint) {
+				_ = ep.Send("ord", []byte(fmt.Sprintf("m%d", r)))
+			})
+		}
+	}
+	eventually(t, 20*time.Second, func() bool {
+		for _, c := range cols {
+			if len(c.dataCopy()) < 3*perSender {
+				return false
+			}
+		}
+		return true
+	}, "not all messages delivered")
+
+	ref := cols[0].dataCopy()
+	for i := 1; i < 3; i++ {
+		got := cols[i].dataCopy()
+		if len(got) != len(ref) {
+			t.Fatalf("node %d delivered %d, node 0 delivered %d", i, len(got), len(ref))
+		}
+		for j := range ref {
+			if got[j] != ref[j] {
+				t.Fatalf("total order violated over UDP at %d: %q vs %q", j, got[j], ref[j])
+			}
+		}
+	}
+}
+
+// TestDriverDoFromManyGoroutines hammers Do concurrently; the loop must
+// serialize everything without races (run with -race).
+func TestDriverDoFromManyGoroutines(t *testing.T) {
+	d := NewDriver(1)
+	d.Start()
+	defer d.Close()
+	counter := 0 // loop-confined
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d.Do(func() { counter++ })
+			}
+		}()
+	}
+	wg.Wait()
+	got := 0
+	d.Call(func() { got = counter })
+	if got != 8*200 {
+		t.Fatalf("counter = %d, want %d", got, 8*200)
+	}
+}
+
+// TestDriverTimerFiresInRealTime checks wall-clock timer semantics.
+func TestDriverTimerFiresInRealTime(t *testing.T) {
+	d := NewDriver(1)
+	fired := make(chan time.Time, 1)
+	start := time.Now()
+	d.Do(func() {
+		d.Sim().After(150*time.Millisecond, func() {
+			fired <- time.Now()
+		})
+	})
+	d.Start()
+	defer d.Close()
+	select {
+	case at := <-fired:
+		elapsed := at.Sub(start)
+		if elapsed < 120*time.Millisecond {
+			t.Errorf("timer fired too early: %v", elapsed)
+		}
+		if elapsed > 2*time.Second {
+			t.Errorf("timer fired far too late: %v", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}

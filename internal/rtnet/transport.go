@@ -1,0 +1,241 @@
+package rtnet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"plwg/internal/ids"
+	"plwg/internal/netsim"
+	"plwg/internal/sim"
+)
+
+// envelope is the wire format: one gob-encoded envelope per UDP datagram.
+// Concrete message types must be registered with gob by the protocol
+// packages (their RegisterWireTypes functions).
+type envelope struct {
+	From ids.ProcessID
+	Addr string
+	Uni  bool
+	Msg  netsim.Message
+}
+
+// Transport is a netsim.Transport over UDP. Multicast is emulated by
+// unicast fan-out to every peer; receivers filter by their local
+// subscriptions, which matches the semantics of the simulated network
+// (and of IP multicast on a LAN segment).
+type Transport struct {
+	d     *Driver
+	pid   ids.ProcessID
+	conn  *net.UDPConn
+	peers map[ids.ProcessID]*net.UDPAddr
+	order []ids.ProcessID // deterministic fan-out order
+
+	// Loop-confined state.
+	subs    map[netsim.Addr]bool
+	handler netsim.Handler
+	// blocked emulates a network partition on the real transport:
+	// traffic to and from the listed peers is dropped.
+	blocked map[ids.ProcessID]bool
+
+	// nextMsgID numbers outgoing envelopes for fragmentation
+	// (loop-confined).
+	nextMsgID uint64
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	readerWG  sync.WaitGroup
+}
+
+var _ netsim.Transport = (*Transport)(nil)
+
+// NewTransport builds the node's transport on an already-bound UDP
+// connection. peers maps every process (other than this one) to its UDP
+// address. Call SetHandler before Start.
+func NewTransport(d *Driver, pid ids.ProcessID, conn *net.UDPConn, peers map[ids.ProcessID]*net.UDPAddr) *Transport {
+	t := &Transport{
+		d:       d,
+		pid:     pid,
+		conn:    conn,
+		peers:   make(map[ids.ProcessID]*net.UDPAddr, len(peers)),
+		subs:    make(map[netsim.Addr]bool),
+		blocked: make(map[ids.ProcessID]bool),
+		closed:  make(chan struct{}),
+	}
+	for p, a := range peers {
+		if p == pid {
+			continue
+		}
+		t.peers[p] = a
+		t.order = append(t.order, p)
+	}
+	t.order = []ids.ProcessID(ids.NewMembers(t.order...))
+	return t
+}
+
+// SetHandler installs the node's message dispatcher (typically a
+// netsim.Mux handler). Must be called before Start.
+func (t *Transport) SetHandler(h netsim.Handler) { t.handler = h }
+
+// Start launches the UDP reader.
+func (t *Transport) Start() {
+	t.readerWG.Add(1)
+	go t.readLoop()
+}
+
+// Close shuts the reader down and closes the socket.
+func (t *Transport) Close() {
+	t.closeOnce.Do(func() { close(t.closed) })
+	_ = t.conn.Close()
+	t.readerWG.Wait()
+}
+
+// LocalAddr returns the bound UDP address.
+func (t *Transport) LocalAddr() *net.UDPAddr {
+	a, _ := t.conn.LocalAddr().(*net.UDPAddr)
+	return a
+}
+
+// Sim implements netsim.Transport.
+func (t *Transport) Sim() *sim.Sim { return t.d.Sim() }
+
+// Subscribe implements netsim.Transport (local node only).
+func (t *Transport) Subscribe(id netsim.NodeID, addr netsim.Addr) {
+	if id == t.pid {
+		t.subs[addr] = true
+	}
+}
+
+// Unsubscribe implements netsim.Transport (local node only).
+func (t *Transport) Unsubscribe(id netsim.NodeID, addr netsim.Addr) {
+	if id == t.pid {
+		delete(t.subs, addr)
+	}
+}
+
+// Block drops all traffic to and from the listed peers until Unblock —
+// fault injection emulating a network partition on the real transport.
+// Must be called on the driver loop (via Driver.Do/Call).
+func (t *Transport) Block(peers ...ids.ProcessID) {
+	for _, p := range peers {
+		t.blocked[p] = true
+	}
+}
+
+// Unblock lifts all Block rules. Must be called on the driver loop.
+func (t *Transport) Unblock() {
+	t.blocked = make(map[ids.ProcessID]bool)
+}
+
+// Multicast implements netsim.Transport: fan out to every peer and loop
+// back locally if subscribed. Must be called on the driver loop.
+func (t *Transport) Multicast(from netsim.NodeID, addr netsim.Addr, msg netsim.Message) {
+	if from != t.pid {
+		return
+	}
+	data, err := encodeEnvelope(envelope{From: from, Addr: string(addr), Msg: msg})
+	if err != nil {
+		return // unregistered type; nothing sane to do at this layer
+	}
+	t.nextMsgID++
+	chunks := fragment(t.nextMsgID, data)
+	for _, p := range t.order {
+		if t.blocked[p] {
+			continue
+		}
+		for _, c := range chunks {
+			_, _ = t.conn.WriteToUDP(c, t.peers[p])
+		}
+	}
+	if t.subs[addr] {
+		// Local delivery stays asynchronous, like a looped-back packet.
+		t.d.Sim().After(0, func() {
+			if t.handler != nil && t.subs[addr] {
+				t.handler(from, addr, msg)
+			}
+		})
+	}
+}
+
+// Unicast implements netsim.Transport. Must be called on the driver loop.
+func (t *Transport) Unicast(from, to netsim.NodeID, addr netsim.Addr, msg netsim.Message) {
+	if from != t.pid {
+		return
+	}
+	if to == t.pid {
+		t.d.Sim().After(0, func() {
+			if t.handler != nil {
+				t.handler(from, addr, msg)
+			}
+		})
+		return
+	}
+	peer, ok := t.peers[to]
+	if !ok || t.blocked[to] {
+		return
+	}
+	data, err := encodeEnvelope(envelope{From: from, Addr: string(addr), Uni: true, Msg: msg})
+	if err != nil {
+		return
+	}
+	t.nextMsgID++
+	for _, c := range fragment(t.nextMsgID, data) {
+		_, _ = t.conn.WriteToUDP(c, peer)
+	}
+}
+
+func (t *Transport) readLoop() {
+	defer t.readerWG.Done()
+	buf := make([]byte, 256*1024)
+	reasm := newReassembler()
+	for {
+		n, raddr, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-t.closed:
+				return
+			default:
+				// Transient error; keep reading until closed.
+				continue
+			}
+		}
+		data, err := reasm.add(raddr.String(), buf[:n])
+		if err != nil || data == nil {
+			continue // malformed, or more chunks to come
+		}
+		env, err := decodeEnvelope(data)
+		if err != nil {
+			continue // malformed datagram
+		}
+		t.d.Do(func() {
+			if t.blocked[env.From] {
+				return // partitioned away
+			}
+			addr := netsim.Addr(env.Addr)
+			if !env.Uni && !t.subs[addr] {
+				return // not subscribed: filtered like IP multicast
+			}
+			if t.handler != nil {
+				t.handler(env.From, addr, env.Msg)
+			}
+		})
+	}
+}
+
+func encodeEnvelope(env envelope) ([]byte, error) {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(&env); err != nil {
+		return nil, fmt.Errorf("encode envelope: %w", err)
+	}
+	return b.Bytes(), nil
+}
+
+func decodeEnvelope(data []byte) (envelope, error) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return envelope{}, fmt.Errorf("decode envelope: %w", err)
+	}
+	return env, nil
+}

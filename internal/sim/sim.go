@@ -1,0 +1,257 @@
+// Package sim provides the deterministic discrete-event engine underneath
+// the simulated network. All protocol code in this repository runs inside a
+// single-threaded event loop with a virtual clock, which makes every test
+// and benchmark bit-reproducible and lets experiments measure latency,
+// throughput and recovery time in exact virtual time.
+//
+// The engine is deliberately minimal: a priority queue of timestamped
+// events, a seeded random source, and timers. Events scheduled for the same
+// instant fire in scheduling order (FIFO), which keeps runs deterministic.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Time is an instant of virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from o to t.
+func (t Time) Sub(o Time) time.Duration { return time.Duration(t - o) }
+
+// Duration converts the instant to a duration since the simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns the instant as floating-point seconds since start.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for events at the same instant
+	fn  func()
+	// canceled is set by Timer.Stop; the event is skipped when popped.
+	canceled bool
+	index    int // heap index
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation: a virtual clock and an event queue.
+// Sim is not safe for concurrent use; all callbacks run on the caller's
+// goroutine inside Run/RunFor/RunUntil.
+type Sim struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+	rng   *rand.Rand
+	// steps counts executed events, as a runaway guard and a statistic.
+	steps uint64
+}
+
+// New returns a simulation whose random source is seeded with seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Steps returns the number of events executed so far.
+func (s *Sim) Steps() uint64 { return s.steps }
+
+// Pending returns the number of events waiting in the queue.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Timer is a handle to a scheduled event that can be stopped.
+type Timer struct {
+	e *event
+}
+
+// Stop cancels the timer if it has not fired yet. It reports whether the
+// timer was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.e == nil || t.e.canceled {
+		return false
+	}
+	t.e.canceled = true
+	return true
+}
+
+// After schedules fn to run d after the current virtual time and returns a
+// stoppable handle. A negative d is treated as zero.
+func (s *Sim) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.at(s.now.Add(d), fn)
+}
+
+// At schedules fn at the absolute virtual instant t (or now, if t is in the
+// past) and returns a stoppable handle.
+func (s *Sim) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		t = s.now
+	}
+	return s.at(t, fn)
+}
+
+func (s *Sim) at(t Time, fn func()) *Timer {
+	e := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return &Timer{e: e}
+}
+
+// Every schedules fn to run every period, first after one period. The
+// returned Ticker keeps rescheduling itself until stopped.
+func (s *Sim) Every(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		period = 1
+	}
+	t := &Ticker{sim: s, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+// Ticker is a repeating timer.
+type Ticker struct {
+	sim     *Sim
+	period  time.Duration
+	fn      func()
+	timer   *Timer
+	stopped bool
+}
+
+func (t *Ticker) schedule() {
+	t.timer = t.sim.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels the ticker.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// step executes the next event, if any, and reports whether one ran.
+func (s *Sim) step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		s.steps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty. Protocol stacks with
+// periodic timers never drain the queue, so most callers want RunFor or
+// RunUntil instead.
+func (s *Sim) Run() {
+	for s.step() {
+	}
+}
+
+// RunUntil executes events with timestamps at or before t, then advances
+// the clock to t.
+func (s *Sim) RunUntil(t Time) {
+	for len(s.queue) > 0 {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		s.step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (s *Sim) RunFor(d time.Duration) {
+	s.RunUntil(s.now.Add(d))
+}
+
+// RunWhile executes events while cond returns true and the queue is
+// non-empty. It is useful for "run until the system converges" loops with a
+// safety horizon.
+func (s *Sim) RunWhile(cond func() bool) {
+	for cond() && s.step() {
+	}
+}
+
+// NextAt returns the timestamp of the earliest pending event, if any.
+// Real-time drivers use it to sleep exactly until the next deadline.
+func (s *Sim) NextAt() (Time, bool) {
+	e := s.peek()
+	if e == nil {
+		return 0, false
+	}
+	return e.at, true
+}
+
+func (s *Sim) peek() *event {
+	for len(s.queue) > 0 {
+		if s.queue[0].canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0]
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestEventOrderProperty schedules random batches of events and checks
+// the fundamental engine invariant: execution times are monotone
+// non-decreasing, and events at equal instants run in scheduling order.
+func TestEventOrderProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		s := New(int64(trial))
+		type fired struct {
+			at  Time
+			seq int
+		}
+		var log []fired
+		total := 50 + r.Intn(100)
+		for i := 0; i < total; i++ {
+			i := i
+			d := time.Duration(r.Intn(20)) * time.Millisecond // deliberate ties
+			s.After(d, func() { log = append(log, fired{at: s.Now(), seq: i}) })
+		}
+		s.Run()
+		if len(log) != total {
+			t.Fatalf("trial %d: %d fired, want %d", trial, len(log), total)
+		}
+		if !sort.SliceIsSorted(log, func(i, j int) bool {
+			if log[i].at != log[j].at {
+				return log[i].at < log[j].at
+			}
+			return log[i].seq < log[j].seq
+		}) {
+			t.Fatalf("trial %d: events out of order: %v", trial, log)
+		}
+	}
+}
+
+// TestNestedTimersProperty schedules timers from within timers at random
+// depths and checks the clock never regresses.
+func TestNestedTimersProperty(t *testing.T) {
+	s := New(4)
+	last := Time(0)
+	var fired int
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		if depth > 4 {
+			return
+		}
+		for i := 0; i < 3; i++ {
+			d := time.Duration(s.Rand().Intn(10)+1) * time.Millisecond
+			s.After(d, func() {
+				fired++
+				if s.Now() < last {
+					t.Fatalf("clock regressed: %v < %v", s.Now(), last)
+				}
+				last = s.Now()
+				spawn(depth + 1)
+			})
+		}
+	}
+	spawn(0)
+	s.Run()
+	if fired == 0 {
+		t.Fatal("nothing fired")
+	}
+}
+
+// TestStopDuringRunProperty randomly cancels timers while others fire.
+func TestStopDuringRunProperty(t *testing.T) {
+	s := New(11)
+	var timers []*Timer
+	firedStopped := false
+	stopped := make(map[int]bool)
+	for i := 0; i < 100; i++ {
+		i := i
+		d := time.Duration(s.Rand().Intn(50)+10) * time.Millisecond
+		timers = append(timers, s.After(d, func() {
+			if stopped[i] {
+				firedStopped = true
+			}
+		}))
+	}
+	// Cancel half of them from an early event.
+	s.After(time.Millisecond, func() {
+		for i := 0; i < 100; i += 2 {
+			if timers[i].Stop() {
+				stopped[i] = true
+			}
+		}
+	})
+	s.Run()
+	if firedStopped {
+		t.Fatal("a stopped timer fired")
+	}
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAfterOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.After(30*time.Millisecond, func() { order = append(order, 3) })
+	s.After(10*time.Millisecond, func() { order = append(order, 1) })
+	s.After(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != Time(30*time.Millisecond) {
+		t.Errorf("Now = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events at the same instant must fire FIFO; got %v", order)
+		}
+	}
+}
+
+func TestNegativeDelayClampedToNow(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Error("negative-delay event must still fire")
+	}
+	if s.Now() != 0 {
+		t.Errorf("clock must not go backwards; Now = %v", s.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.After(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Error("Stop on pending timer must return true")
+	}
+	if tm.Stop() {
+		t.Error("second Stop must return false")
+	}
+	s.Run()
+	if fired {
+		t.Error("stopped timer must not fire")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	s.After(5*time.Millisecond, func() { fired = append(fired, s.Now()) })
+	s.After(50*time.Millisecond, func() { fired = append(fired, s.Now()) })
+	s.RunUntil(Time(10 * time.Millisecond))
+	if len(fired) != 1 {
+		t.Fatalf("expected exactly the 5ms event, got %d events", len(fired))
+	}
+	if s.Now() != Time(10*time.Millisecond) {
+		t.Errorf("Now = %v, want 10ms", s.Now())
+	}
+	s.RunFor(40 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("expected the 50ms event after RunFor, got %d events", len(fired))
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var times []Time
+	s.After(time.Millisecond, func() {
+		times = append(times, s.Now())
+		s.After(time.Millisecond, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.Run()
+	if len(times) != 2 {
+		t.Fatalf("got %d events, want 2", len(times))
+	}
+	if times[1] != Time(2*time.Millisecond) {
+		t.Errorf("nested event fired at %v, want 2ms", times[1])
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	count := 0
+	tk := s.Every(10*time.Millisecond, func() { count++ })
+	s.RunFor(55 * time.Millisecond)
+	if count != 5 {
+		t.Errorf("ticks = %d, want 5", count)
+	}
+	tk.Stop()
+	s.RunFor(100 * time.Millisecond)
+	if count != 5 {
+		t.Errorf("ticker fired after Stop; ticks = %d", count)
+	}
+}
+
+func TestTickerStopFromWithinCallback(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tk *Ticker
+	tk = s.Every(time.Millisecond, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	s.RunFor(20 * time.Millisecond)
+	if count != 3 {
+		t.Errorf("ticks = %d, want 3", count)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		s := New(99)
+		var out []int64
+		// Schedule events with random delays drawn from the seeded rng.
+		for i := 0; i < 100; i++ {
+			d := time.Duration(s.Rand().Intn(1000)) * time.Microsecond
+			s.After(d, func() { out = append(out, int64(s.Now())) })
+		}
+		s.Run()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different event counts across identical runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at event %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tt := Time(1500 * time.Millisecond)
+	if tt.Seconds() != 1.5 {
+		t.Errorf("Seconds = %v", tt.Seconds())
+	}
+	if tt.Add(500*time.Millisecond) != Time(2*time.Second) {
+		t.Errorf("Add wrong")
+	}
+	if tt.Sub(Time(time.Second)) != 500*time.Millisecond {
+		t.Errorf("Sub wrong")
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	s := New(1)
+	count := 0
+	s.Every(time.Millisecond, func() { count++ })
+	s.RunWhile(func() bool { return count < 7 })
+	if count != 7 {
+		t.Errorf("count = %d, want 7", count)
+	}
+}
+
+func TestStepsAndPending(t *testing.T) {
+	s := New(1)
+	s.After(time.Millisecond, func() {})
+	s.After(time.Millisecond, func() {})
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if s.Steps() != 2 {
+		t.Errorf("Steps = %d, want 2", s.Steps())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending after Run = %d, want 0", s.Pending())
+	}
+}

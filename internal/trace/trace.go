@@ -1,0 +1,78 @@
+// Package trace provides lightweight structured event tracing for the
+// protocol stacks. Traces are used by tests to assert protocol behaviour
+// and by the scenario player (cmd/lwgsim) to narrate reconciliation runs.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"plwg/internal/ids"
+	"plwg/internal/sim"
+)
+
+// Event is one traced protocol event.
+type Event struct {
+	At    sim.Time
+	Node  ids.ProcessID
+	Layer string // "vsync", "lwg", "ns"
+	What  string // e.g. "view-install", "merge-views", "switch"
+	Text  string
+}
+
+// String renders the event as a single log line.
+func (e Event) String() string {
+	return fmt.Sprintf("%10.4fs %-4v %-5s %-16s %s",
+		e.At.Seconds(), e.Node, e.Layer, e.What, e.Text)
+}
+
+// Tracer receives protocol events.
+type Tracer interface {
+	Trace(e Event)
+}
+
+// Nop is a Tracer that discards everything.
+type Nop struct{}
+
+// Trace implements Tracer.
+func (Nop) Trace(Event) {}
+
+var _ Tracer = Nop{}
+
+// Recorder is a Tracer that stores events in memory.
+type Recorder struct {
+	Events []Event
+}
+
+var _ Tracer = (*Recorder)(nil)
+
+// Trace implements Tracer.
+func (r *Recorder) Trace(e Event) { r.Events = append(r.Events, e) }
+
+// Filter returns the recorded events matching layer and/or what (empty
+// string matches anything).
+func (r *Recorder) Filter(layer, what string) []Event {
+	var out []Event
+	for _, e := range r.Events {
+		if (layer == "" || e.Layer == layer) && (what == "" || e.What == what) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders all recorded events, one per line.
+func (r *Recorder) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Func adapts a function to the Tracer interface.
+type Func func(Event)
+
+// Trace implements Tracer.
+func (f Func) Trace(e Event) { f(e) }

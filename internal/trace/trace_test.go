@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"plwg/internal/ids"
+	"plwg/internal/sim"
+)
+
+func ev(layer, what, text string) Event {
+	return Event{
+		At:    sim.Time(1500 * time.Millisecond),
+		Node:  ids.ProcessID(3),
+		Layer: layer,
+		What:  what,
+		Text:  text,
+	}
+}
+
+func TestEventString(t *testing.T) {
+	s := ev("lwg", "switch", "a: hwg1 -> hwg2").String()
+	for _, want := range []string{"1.5000s", "p3", "lwg", "switch", "hwg1 -> hwg2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("event string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	r := &Recorder{}
+	r.Trace(ev("lwg", "switch", "x"))
+	r.Trace(ev("lwg", "join", "y"))
+	r.Trace(ev("ns", "switch", "z"))
+
+	if got := r.Filter("lwg", ""); len(got) != 2 {
+		t.Errorf("Filter(lwg) = %d events", len(got))
+	}
+	if got := r.Filter("", "switch"); len(got) != 2 {
+		t.Errorf("Filter(switch) = %d events", len(got))
+	}
+	if got := r.Filter("lwg", "switch"); len(got) != 1 {
+		t.Errorf("Filter(lwg,switch) = %d events", len(got))
+	}
+	if got := r.Filter("", ""); len(got) != 3 {
+		t.Errorf("Filter(all) = %d events", len(got))
+	}
+}
+
+func TestRecorderDump(t *testing.T) {
+	r := &Recorder{}
+	r.Trace(ev("lwg", "a", "one"))
+	r.Trace(ev("ns", "b", "two"))
+	d := r.Dump()
+	if strings.Count(d, "\n") != 2 {
+		t.Errorf("Dump should have one line per event:\n%s", d)
+	}
+}
+
+func TestNopAndFunc(t *testing.T) {
+	Nop{}.Trace(ev("x", "y", "z")) // must not panic
+
+	var got []Event
+	f := Func(func(e Event) { got = append(got, e) })
+	f.Trace(ev("lwg", "w", "t"))
+	if len(got) != 1 || got[0].What != "w" {
+		t.Errorf("Func tracer got %v", got)
+	}
+}

@@ -1,0 +1,143 @@
+package vsync
+
+import "time"
+
+// AckPolicy selects how message stability is tracked.
+type AckPolicy int
+
+const (
+	// AckPerMessage sends one small acknowledgement frame per delivered
+	// data message (Horus-style stability). This is the default; the
+	// acknowledgement traffic is a first-order component of the paper's
+	// interference effect, because a group of 8 produces more than twice
+	// the stability traffic of a group of 4 per data message.
+	AckPerMessage AckPolicy = iota + 1
+	// AckPeriodic sends one cumulative acknowledgement vector per
+	// AckInterval instead — an ablation of the stability-traffic design
+	// choice.
+	AckPeriodic
+)
+
+// OrderingMode selects the delivery order guarantee for group multicasts.
+type OrderingMode int
+
+const (
+	// OrderingFIFO (the default) delivers messages in per-sender FIFO
+	// order; messages from different senders may interleave differently
+	// at different members.
+	OrderingFIFO OrderingMode = iota + 1
+	// OrderingTotal delivers all multicasts of a view in one total order
+	// agreed by every member (sequencer-based: the view coordinator
+	// assigns order tokens). Messages left un-sequenced when a view
+	// changes — e.g. because the sequencer crashed — are delivered in a
+	// deterministic residual order before the new view installs, so the
+	// total order extends across view changes consistently.
+	OrderingTotal
+)
+
+// Config holds the protocol timers of the heavy-weight group layer.
+type Config struct {
+	// HeartbeatInterval is the period of per-member liveness heartbeats.
+	HeartbeatInterval time.Duration
+	// FDTimeout is the silence threshold after which a peer is suspected.
+	FDTimeout time.Duration
+	// FDCheckInterval is the period of the suspicion check.
+	FDCheckInterval time.Duration
+	// PresenceInterval is the period of the coordinator's presence
+	// announcement, used for peer discovery when partitions heal.
+	PresenceInterval time.Duration
+	// JoinRetryInterval is the period of the joiner's JOIN-REQ multicast.
+	JoinRetryInterval time.Duration
+	// JoinTimeout is how long a joiner waits for an existing view before
+	// forming a singleton view of its own.
+	JoinTimeout time.Duration
+	// FlushTimeout bounds one flush round: responders that have not sent
+	// FLUSH-OK by then are excluded and the round restarts.
+	FlushTimeout time.Duration
+	// ResponderTimeout bounds how long a stopped member waits for the
+	// new view before giving up on the initiator and resuming.
+	ResponderTimeout time.Duration
+	// MaxFlushAttempts bounds reconfiguration retries.
+	MaxFlushAttempts int
+	// AutoStopOk makes the stack acknowledge Stop itself instead of
+	// upcalling the user. The light-weight group layer keeps it false so
+	// it can quiesce its own groups first (Table 1's Stop/StopOk pair).
+	AutoStopOk bool
+	// AckPolicy selects the stability scheme (default AckPerMessage).
+	AckPolicy AckPolicy
+	// AckInterval is the cumulative-acknowledgement period under
+	// AckPeriodic.
+	AckInterval time.Duration
+	// Ordering selects the multicast delivery order (default
+	// OrderingFIFO).
+	Ordering OrderingMode
+	// NackInterval is the period of the loss-repair scan: observed
+	// sequence gaps older than one interval are NACKed to their sender.
+	NackInterval time.Duration
+}
+
+// DefaultConfig returns timers sized for the simulated 10 Mbps testbed:
+// failure detection in a few hundred milliseconds, flush rounds bounded
+// well above a worst-case bus round-trip.
+func DefaultConfig() Config {
+	return Config{
+		HeartbeatInterval: 100 * time.Millisecond,
+		FDTimeout:         350 * time.Millisecond,
+		FDCheckInterval:   50 * time.Millisecond,
+		PresenceInterval:  250 * time.Millisecond,
+		JoinRetryInterval: 150 * time.Millisecond,
+		JoinTimeout:       400 * time.Millisecond,
+		FlushTimeout:      500 * time.Millisecond,
+		ResponderTimeout:  1500 * time.Millisecond,
+		MaxFlushAttempts:  5,
+		AutoStopOk:        false,
+		AckPolicy:         AckPerMessage,
+		AckInterval:       50 * time.Millisecond,
+		NackInterval:      100 * time.Millisecond,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = d.HeartbeatInterval
+	}
+	if c.FDTimeout <= 0 {
+		c.FDTimeout = d.FDTimeout
+	}
+	if c.FDCheckInterval <= 0 {
+		c.FDCheckInterval = d.FDCheckInterval
+	}
+	if c.PresenceInterval <= 0 {
+		c.PresenceInterval = d.PresenceInterval
+	}
+	if c.JoinRetryInterval <= 0 {
+		c.JoinRetryInterval = d.JoinRetryInterval
+	}
+	if c.JoinTimeout <= 0 {
+		c.JoinTimeout = d.JoinTimeout
+	}
+	if c.FlushTimeout <= 0 {
+		c.FlushTimeout = d.FlushTimeout
+	}
+	if c.ResponderTimeout <= 0 {
+		c.ResponderTimeout = d.ResponderTimeout
+	}
+	if c.MaxFlushAttempts <= 0 {
+		c.MaxFlushAttempts = d.MaxFlushAttempts
+	}
+	if c.AckPolicy == 0 {
+		c.AckPolicy = d.AckPolicy
+	}
+	if c.AckInterval <= 0 {
+		c.AckInterval = d.AckInterval
+	}
+	if c.Ordering == 0 {
+		c.Ordering = OrderingFIFO
+	}
+	if c.NackInterval <= 0 {
+		c.NackInterval = d.NackInterval
+	}
+	return c
+}

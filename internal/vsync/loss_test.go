@@ -1,0 +1,128 @@
+package vsync
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"plwg/internal/ids"
+	"plwg/internal/netsim"
+	"plwg/internal/sim"
+)
+
+// lossyWorld builds a cluster on a network that drops a fraction of
+// deliveries, like real UDP.
+func lossyWorld(t *testing.T, n int, cfg Config, lossRate float64, seed int64) *world {
+	t.Helper()
+	s := sim.New(seed)
+	params := netsim.DefaultParams()
+	params.LossRate = lossRate
+	nw := netsim.New(s, params)
+	w := &world{
+		t: t, s: s, nw: nw,
+		stacks: make(map[ids.ProcessID]*Stack),
+		ups:    make(map[ids.ProcessID]*tUp),
+	}
+	for i := 0; i < n; i++ {
+		pid := ids.ProcessID(i)
+		up := &tUp{pid: pid, log: make(map[ids.HWGID][]logEntry), s: s}
+		st := NewStack(Params{Net: nw, PID: pid, Config: cfg, Upcalls: up})
+		up.st = st
+		mux := netsim.NewMux()
+		mux.Handle(AddrPrefix, st.HandleMessage)
+		nw.AddNode(pid, mux.Handler())
+		w.stacks[pid] = st
+		w.ups[pid] = up
+	}
+	return w
+}
+
+// TestLossRepairDelivery: with 3% delivery loss, NACK-based repair (plus
+// the periodic ack vectors) must still deliver every message everywhere.
+func TestLossRepairDelivery(t *testing.T) {
+	cfg := autoCfg()
+	cfg.AckPolicy = AckPeriodic // per-message acks are themselves lossy
+	w := lossyWorld(t, 3, cfg, 0.03, 5)
+	for i := 0; i < 3; i++ {
+		if err := w.stacks[ids.ProcessID(i)].Join(g1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.run(6 * time.Second)
+	w.requireSameView(g1, 0, 1, 2)
+
+	const msgs = 100
+	for i := 0; i < msgs; i++ {
+		sender := ids.ProcessID(i % 3)
+		_ = w.stacks[sender].Send(g1, tPayload{ID: fmt.Sprintf("l%d", i), Size: 300})
+		w.run(10 * time.Millisecond)
+	}
+	w.run(5 * time.Second) // repair time
+
+	if st := w.nw.Stats(); st.Dropped == 0 {
+		t.Fatal("the lossy network dropped nothing; test is vacuous")
+	}
+	for pid := ids.ProcessID(0); pid < 3; pid++ {
+		got := 0
+		for _, e := range w.ups[pid].log[g1] {
+			if e.kind == "data" {
+				got++
+			}
+		}
+		if got != msgs {
+			t.Errorf("%v delivered %d/%d despite loss repair", pid, got, msgs)
+		}
+	}
+	checkViewSynchrony(t, w, g1)
+}
+
+// TestLossRepairTotalOrder: total order must survive datagram loss — a
+// lost token or message is repaired and the sequence stays uniform.
+func TestLossRepairTotalOrder(t *testing.T) {
+	cfg := totalCfg()
+	cfg.AckPolicy = AckPeriodic
+	w := lossyWorld(t, 3, cfg, 0.03, 8)
+	for i := 0; i < 3; i++ {
+		if err := w.stacks[ids.ProcessID(i)].Join(g1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.run(6 * time.Second)
+	w.requireSameView(g1, 0, 1, 2)
+
+	const msgs = 60
+	for i := 0; i < msgs; i++ {
+		_ = w.stacks[ids.ProcessID(i%3)].Send(g1, tPayload{ID: fmt.Sprintf("o%d", i)})
+		w.run(8 * time.Millisecond)
+	}
+	w.run(5 * time.Second)
+
+	for pid := ids.ProcessID(0); pid < 3; pid++ {
+		if got := len(deliveredSeqOf(w.ups[pid], g1)); got != msgs {
+			t.Fatalf("%v delivered %d/%d", pid, got, msgs)
+		}
+	}
+	requireIdenticalSequences(t, w, g1, 0, 1, 2)
+}
+
+// TestLossyMembershipChurn: joins, a crash and a view change under loss.
+func TestLossyMembershipChurn(t *testing.T) {
+	cfg := autoCfg()
+	cfg.AckPolicy = AckPeriodic
+	w := lossyWorld(t, 4, cfg, 0.02, 11)
+	for i := 0; i < 3; i++ {
+		if err := w.stacks[ids.ProcessID(i)].Join(g1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.run(6 * time.Second)
+	if err := w.stacks[3].Join(g1); err != nil {
+		t.Fatal(err)
+	}
+	w.run(4 * time.Second)
+	w.requireSameView(g1, 0, 1, 2, 3)
+	w.nw.Crash(2)
+	w.run(5 * time.Second)
+	w.requireSameView(g1, 0, 1, 3)
+	checkViewSynchrony(t, w, g1)
+}

@@ -1,0 +1,818 @@
+package vsync
+
+import (
+	"sort"
+	"time"
+
+	"plwg/internal/ids"
+	"plwg/internal/sim"
+)
+
+// memberState is the per-group protocol state of a process.
+type memberState int
+
+const (
+	// stateJoining: announcing JOIN-REQ, waiting to be admitted into an
+	// existing view or to form a singleton view.
+	stateJoining memberState = iota + 1
+	// stateNormal: a view is installed and traffic flows.
+	stateNormal
+	// stateStopped: a STOP was received; the member has quiesced (or is
+	// waiting for the user's StopOk) and awaits the NEW-VIEW.
+	stateStopped
+)
+
+// member is the per-(process, group) protocol instance.
+type member struct {
+	st  *Stack
+	gid ids.HWGID
+
+	state memberState
+	view  ids.View
+
+	// Sending.
+	nextSeq uint64
+	pending []Payload
+
+	// Per-view delivery and stability state (reset at each install).
+	delivered map[msgKey]bool
+	buffer    map[msgKey]*msgData
+	acks      map[msgKey]map[ids.ProcessID]bool
+	// ackVectors holds, per peer, the highest contiguous sequence the
+	// peer acknowledged per sender (AckPeriodic only).
+	ackVectors map[ids.ProcessID]map[ids.ProcessID]uint64
+	// deliveredSeq tracks the highest contiguous sequence delivered per
+	// sender; together with extras it forms the flush digest.
+	deliveredSeq map[ids.ProcessID]uint64
+	// extras records deliveries beyond the contiguous prefix (possible
+	// only through flush retransmissions).
+	extras map[msgKey]bool
+
+	// Loss repair (reset per view). maxSeen is the highest sequence
+	// observed per sender; gaps below it that persist across two scans
+	// are NACKed to the sender.
+	maxSeen  map[ids.ProcessID]uint64
+	prevGaps map[msgKey]bool
+
+	// Total-order state (OrderingTotal; reset per view).
+	// ordBuf holds received Ordered messages awaiting their token.
+	ordBuf map[msgKey]*msgData
+	// ordTokens maps order indices to message keys.
+	ordTokens map[uint64]msgKey
+	// ordNext is the next order index to deliver.
+	ordNext uint64
+	// ordCounter is the coordinator's token allocator.
+	ordCounter uint64
+
+	// Failure detection.
+	lastHeard map[ids.ProcessID]sim.Time
+	suspects  map[ids.ProcessID]bool
+
+	// Flush participation (responder side).
+	stopEpoch   epoch
+	stopPending bool // Stop upcall delivered, awaiting StopOk
+	respTimer   *sim.Timer
+
+	// joinCommit is the admission round a joiner has committed to. A
+	// joiner answers one admission at a time (defecting only to a
+	// lower-numbered initiator); otherwise two concurrent coordinators
+	// could both install views claiming the joiner, while the joiner
+	// enters only one of them.
+	joinCommit      epoch
+	joinCommitTimer *sim.Timer
+
+	// Reconfiguration (initiator side); nil when idle.
+	rc *reconfig
+
+	// knownPeers holds concurrent views discovered through presence
+	// announcements (HWG-level peer discovery), pending a merge.
+	knownPeers map[ids.ViewID]ids.View
+
+	// Joins observed while this process coordinates the group.
+	pendingJoiners map[ids.ProcessID]bool
+	// Leave requests observed while this process coordinates the group.
+	leavers map[ids.ProcessID]bool
+
+	// Leave intent of this process itself.
+	leaveRequested bool
+
+	// Timers.
+	hbTicker   *sim.Ticker
+	fdTicker   *sim.Ticker
+	presTicker *sim.Ticker
+	ackTicker  *sim.Ticker
+	nackTicker *sim.Ticker
+	joinTicker *sim.Ticker
+	joinTimer  *sim.Timer
+}
+
+// reconfig is the initiator-side state of one flush round.
+type reconfig struct {
+	epoch epoch
+	// targets maps each old view being flushed to its expected
+	// responders.
+	targets map[ids.ViewID]ids.Members
+	joiners ids.Members
+	// got holds the FLUSH-OK received per responder.
+	got      map[ids.ProcessID]*msgFlushOk
+	expected ids.Members
+	timer    *sim.Timer
+	attempts int
+	// pulling is set while gap messages are being fetched from their
+	// holders; wanted maps each missing message to nil until its copy
+	// arrives in a FLUSH-FILL.
+	pulling bool
+	wanted  map[msgKey]*msgData
+}
+
+func newMember(s *Stack, gid ids.HWGID) *member {
+	return &member{
+		st:             s,
+		gid:            gid,
+		knownPeers:     make(map[ids.ViewID]ids.View),
+		pendingJoiners: make(map[ids.ProcessID]bool),
+		leavers:        make(map[ids.ProcessID]bool),
+	}
+}
+
+func (m *member) multicast(msg interface {
+	WireSize() int
+}) {
+	m.st.net.Multicast(m.st.pid, GroupAddr(m.gid), msg)
+}
+
+func (m *member) unicast(to ids.ProcessID, msg interface {
+	WireSize() int
+}) {
+	m.st.net.Unicast(m.st.pid, to, GroupAddr(m.gid), msg)
+}
+
+// --- joining -------------------------------------------------------------
+
+func (m *member) startJoin() {
+	m.state = stateJoining
+	m.st.net.Subscribe(m.st.pid, GroupAddr(m.gid))
+	m.st.trace(m.gid, "join-start", "joining")
+	send := func() { m.multicast(&msgJoinReq{GID: m.gid, From: m.st.pid}) }
+	send()
+	m.joinTicker = m.st.clock.Every(m.st.cfg.JoinRetryInterval, send)
+	m.armJoinDeadline()
+}
+
+func (m *member) armJoinDeadline() {
+	m.extendJoinDeadline(m.st.cfg.JoinTimeout)
+}
+
+// extendJoinDeadline postpones the fall-back-to-singleton decision, e.g.
+// while a flush that admits this process is in progress.
+func (m *member) extendJoinDeadline(d time.Duration) {
+	if m.joinTimer != nil {
+		m.joinTimer.Stop()
+	}
+	m.joinTimer = m.st.clock.After(d, m.formSingleton)
+}
+
+// formSingleton installs a view containing only this process, making it
+// the group's first (or a partitioned-away) member. Concurrent singletons
+// later merge through presence discovery.
+func (m *member) formSingleton() {
+	if m.state != stateJoining {
+		return
+	}
+	v := ids.View{
+		ID:      ids.ViewID{Coord: m.st.pid, Seq: m.st.nextViewSeq(m.gid)},
+		Members: ids.NewMembers(m.st.pid),
+	}
+	m.install(v)
+}
+
+func (m *member) onJoinReq(from ids.ProcessID, _ *msgJoinReq) {
+	m.heard(from)
+	if m.state == stateJoining {
+		return // joiners cannot admit each other
+	}
+	if m.view.Contains(from) {
+		return // already admitted; duplicate or stale request
+	}
+	if m.view.Coordinator() != m.st.pid {
+		return // only the operating coordinator admits joiners
+	}
+	m.pendingJoiners[from] = true
+	m.maybeReconfigure("join")
+}
+
+// --- leaving -------------------------------------------------------------
+
+func (m *member) requestLeave() {
+	if m.state == stateJoining {
+		// Not yet in any view: abort the join silently.
+		m.st.trace(m.gid, "leave", "aborted join")
+		m.st.dropMember(m.gid)
+		return
+	}
+	m.leaveRequested = true
+	if len(m.view.Members) <= 1 {
+		m.st.trace(m.gid, "leave", "last member, dissolving")
+		m.st.dropMember(m.gid)
+		return
+	}
+	if m.view.Coordinator() == m.st.pid {
+		m.maybeReconfigure("leave")
+		return
+	}
+	m.multicast(&msgLeaveReq{GID: m.gid, From: m.st.pid})
+}
+
+func (m *member) onLeaveReq(from ids.ProcessID, _ *msgLeaveReq) {
+	m.heard(from)
+	if !m.view.Contains(from) {
+		return
+	}
+	m.leavers[from] = true
+	if m.state == stateNormal && m.view.Coordinator() == m.st.pid {
+		m.maybeReconfigure("leave")
+	}
+}
+
+// --- data path -----------------------------------------------------------
+
+func (m *member) send(p Payload) {
+	if m.state != stateNormal {
+		m.pending = append(m.pending, p)
+		return
+	}
+	m.nextSeq++
+	m.multicast(&msgData{
+		GID:     m.gid,
+		View:    m.view.ID,
+		Sender:  m.st.pid,
+		Seq:     m.nextSeq,
+		Payload: p,
+		Ordered: m.st.cfg.Ordering == OrderingTotal,
+	})
+}
+
+// sendInternal multicasts a protocol-internal payload (order tokens) as
+// an unordered data message, sharing reliability and flush semantics
+// with application traffic.
+func (m *member) sendInternal(p Payload) {
+	m.nextSeq++
+	m.multicast(&msgData{
+		GID:     m.gid,
+		View:    m.view.ID,
+		Sender:  m.st.pid,
+		Seq:     m.nextSeq,
+		Payload: p,
+	})
+}
+
+func (m *member) onData(from ids.ProcessID, d *msgData) {
+	if d.View != m.view.ID {
+		return // tagged with a view this process is not in
+	}
+	m.heard(from)
+	m.deliverData(d, true)
+}
+
+// deliverData performs deduplicated delivery; ack controls whether a
+// stability acknowledgement is sent (live traffic yes, flush
+// retransmissions no).
+func (m *member) deliverData(d *msgData, ack bool) {
+	k := d.key()
+	if d.Seq > m.maxSeen[d.Sender] {
+		m.maxSeen[d.Sender] = d.Seq
+	}
+	if m.delivered[k] {
+		return
+	}
+	m.delivered[k] = true
+	m.buffer[k] = d
+	// Maintain the flush digest: contiguous prefix per sender, plus
+	// out-of-order extras (absorbed into the prefix as gaps close).
+	if m.deliveredSeq[d.Sender]+1 == d.Seq {
+		m.deliveredSeq[d.Sender] = d.Seq
+		for {
+			next := msgKey{View: d.View, Sender: d.Sender, Seq: m.deliveredSeq[d.Sender] + 1}
+			if !m.extras[next] {
+				break
+			}
+			delete(m.extras, next)
+			m.deliveredSeq[d.Sender]++
+		}
+	} else if d.Seq > m.deliveredSeq[d.Sender] {
+		m.extras[k] = true
+	}
+	if d.Sender != m.st.pid && m.st.cfg.AckPolicy == AckPerMessage && ack {
+		m.multicast(&msgAck{GID: m.gid, Key: k, From: m.st.pid})
+	}
+	m.recordAck(k, d.Sender) // the sender trivially has its own message
+	m.recordAck(k, m.st.pid)
+
+	// Total-order machinery: tokens sequence buffered Ordered messages;
+	// Ordered messages wait for their token.
+	if tok, isToken := d.Payload.(*ordToken); isToken {
+		m.ordTokens[tok.Idx] = tok.Key
+		m.drainOrdered()
+		return
+	}
+	if d.Ordered {
+		m.ordBuf[k] = d
+		if m.view.Coordinator() == m.st.pid {
+			// This member sequences the view's traffic.
+			m.ordCounter++
+			m.sendInternal(&ordToken{Key: k, Idx: m.ordCounter})
+		}
+		m.drainOrdered()
+		return
+	}
+	m.appDeliver(d)
+}
+
+// appDeliver hands a message to the user.
+func (m *member) appDeliver(d *msgData) {
+	if m.st.up != nil {
+		m.st.up.Data(m.gid, d.Sender, d.Payload)
+	}
+}
+
+// drainOrdered delivers buffered Ordered messages in token order.
+func (m *member) drainOrdered() {
+	for {
+		k, ok := m.ordTokens[m.ordNext+1]
+		if !ok {
+			return
+		}
+		d, have := m.ordBuf[k]
+		if !have {
+			return // token arrived before its message (possible on UDP)
+		}
+		delete(m.ordBuf, k)
+		delete(m.ordTokens, m.ordNext+1)
+		m.ordNext++
+		m.appDeliver(d)
+	}
+}
+
+// flushOrderedResidue delivers, at the end of a view, every Ordered
+// message still waiting for a token: first any fully tokenized prefix,
+// then the untokenized rest in deterministic key order. View synchrony
+// makes the residue identical at every surviving member, so the total
+// order extends across the view change consistently.
+func (m *member) flushOrderedResidue() {
+	if len(m.ordBuf) == 0 {
+		return
+	}
+	m.drainOrdered()
+	if len(m.ordBuf) == 0 {
+		return
+	}
+	keys := make([]msgKey, 0, len(m.ordBuf))
+	for k := range m.ordBuf {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	for _, k := range keys {
+		d := m.ordBuf[k]
+		delete(m.ordBuf, k)
+		m.appDeliver(d)
+	}
+}
+
+func (m *member) onAck(from ids.ProcessID, a *msgAck) {
+	if a.Key.View != m.view.ID {
+		return
+	}
+	m.heard(from)
+	m.recordAck(a.Key, from)
+}
+
+func (m *member) onAckVector(from ids.ProcessID, a *msgAckVector) {
+	if a.View != m.view.ID {
+		return
+	}
+	m.heard(from)
+	vec := m.ackVectors[from]
+	if vec == nil {
+		vec = make(map[ids.ProcessID]uint64)
+		m.ackVectors[from] = vec
+	}
+	for sender, seq := range a.MaxSeq {
+		if vec[sender] < seq {
+			vec[sender] = seq
+		}
+	}
+	m.collectVectorStability()
+}
+
+func (m *member) recordAck(k msgKey, from ids.ProcessID) {
+	set := m.acks[k]
+	if set == nil {
+		set = make(map[ids.ProcessID]bool)
+		m.acks[k] = set
+	}
+	set[from] = true
+	m.checkStable(k)
+}
+
+// checkStable discards the buffered copy once every view member holds the
+// message.
+func (m *member) checkStable(k msgKey) {
+	set := m.acks[k]
+	for _, p := range m.view.Members {
+		if !set[p] {
+			return
+		}
+	}
+	delete(m.buffer, k)
+	delete(m.acks, k)
+}
+
+// collectVectorStability applies cumulative-ack stability (AckPeriodic).
+func (m *member) collectVectorStability() {
+	for k := range m.buffer {
+		stable := true
+		for _, p := range m.view.Members {
+			if p == m.st.pid || p == k.Sender {
+				continue
+			}
+			if m.ackVectors[p][k.Sender] < k.Seq {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			delete(m.buffer, k)
+			delete(m.acks, k)
+		}
+	}
+}
+
+func (m *member) sendAckVector() {
+	if m.state != stateNormal || len(m.deliveredSeq) == 0 {
+		return
+	}
+	vec := make(map[ids.ProcessID]uint64, len(m.deliveredSeq))
+	for s, q := range m.deliveredSeq {
+		vec[s] = q
+	}
+	m.multicast(&msgAckVector{GID: m.gid, View: m.view.ID, From: m.st.pid, MaxSeq: vec})
+}
+
+// --- loss repair -----------------------------------------------------------
+
+// scanGaps NACKs sequence gaps that persisted across two consecutive
+// scans (one interval of grace absorbs in-flight reordering). The
+// simulated bus never loses frames unless configured to; on real UDP
+// this is what keeps a lost datagram from stalling delivery until the
+// next view change.
+func (m *member) scanGaps() {
+	if m.state != stateNormal {
+		m.prevGaps = make(map[msgKey]bool)
+		return
+	}
+	const maxNackPerScan = 64
+	cur := make(map[msgKey]bool)
+	perTarget := make(map[ids.ProcessID][]msgKey)
+	total := 0
+	for _, s := range m.view.Members {
+		// Ask the sender for its own messages; when WE are the sender
+		// (our loopback delivery was lost), any other member that
+		// delivered the message still buffers it — unstable, since we
+		// never acknowledged it.
+		target := s
+		if s == m.st.pid {
+			target = -1
+			for _, p := range m.view.Members {
+				if p != m.st.pid {
+					target = p
+					break
+				}
+			}
+			if target < 0 {
+				continue // sole member: nobody can help
+			}
+		}
+		top := m.maxSeen[s]
+		for seq := m.deliveredSeq[s] + 1; seq <= top && total < maxNackPerScan; seq++ {
+			k := msgKey{View: m.view.ID, Sender: s, Seq: seq}
+			if m.delivered[k] {
+				continue
+			}
+			cur[k] = true
+			if m.prevGaps[k] {
+				perTarget[target] = append(perTarget[target], k)
+				total++
+			}
+		}
+	}
+	m.prevGaps = cur
+	for _, p := range m.view.Members { // deterministic emission order
+		keys := perTarget[p]
+		if len(keys) == 0 {
+			continue
+		}
+		sortKeys(keys)
+		m.unicast(p, &msgNack{GID: m.gid, From: m.st.pid, Keys: keys})
+	}
+}
+
+// onNack answers with buffered copies. A message the requester is missing
+// cannot be stable (it never acknowledged it), so the sender still holds
+// it.
+func (m *member) onNack(from ids.ProcessID, n *msgNack) {
+	m.heard(from)
+	var msgs []*msgData
+	for _, k := range n.Keys {
+		if k.View != m.view.ID {
+			continue
+		}
+		if d, ok := m.buffer[k]; ok {
+			msgs = append(msgs, d)
+		}
+	}
+	if len(msgs) > 0 {
+		m.unicast(from, &msgRetrans{GID: m.gid, Msgs: msgs})
+	}
+}
+
+func (m *member) onRetrans(from ids.ProcessID, r *msgRetrans) {
+	m.heard(from)
+	for _, d := range r.Msgs {
+		if d.View == m.view.ID {
+			m.deliverData(d, true)
+		}
+	}
+}
+
+// --- failure detection and presence --------------------------------------
+
+func (m *member) heard(p ids.ProcessID) {
+	if m.lastHeard != nil {
+		m.lastHeard[p] = m.st.clock.Now()
+	}
+}
+
+// onHeartbeat refreshes the failure detector only for peers that share
+// this member's view: a heartbeat tagged with another view proves the
+// process is alive, but not that it still participates in ours — counting
+// it would mask exactly the divergence that needs repair.
+func (m *member) onHeartbeat(from ids.ProcessID, hb *msgHeartbeat) {
+	if hb.View != m.view.ID {
+		return
+	}
+	m.heard(from)
+	if hb.MaxSeq > m.maxSeen[from] {
+		m.maxSeen[from] = hb.MaxSeq
+	}
+}
+
+func (m *member) sendHeartbeat() {
+	if m.state == stateJoining {
+		return
+	}
+	m.multicast(&msgHeartbeat{
+		GID: m.gid, From: m.st.pid, View: m.view.ID, MaxSeq: m.nextSeq,
+	})
+}
+
+func (m *member) checkFailures() {
+	if m.state != stateNormal {
+		return
+	}
+	now := m.st.clock.Now()
+	changed := false
+	for _, p := range m.view.Members {
+		if p == m.st.pid || m.suspects[p] {
+			continue
+		}
+		if now.Sub(m.lastHeard[p]) > m.st.cfg.FDTimeout {
+			m.suspects[p] = true
+			changed = true
+			m.st.trace(m.gid, "suspect", "%v", p)
+		}
+	}
+	if !changed && len(m.suspects) == 0 {
+		return
+	}
+	// The smallest non-suspected member acts as coordinator for the
+	// exclusion.
+	acting := ids.ProcessID(-1)
+	for _, p := range m.view.Members {
+		if !m.suspects[p] {
+			acting = p
+			break
+		}
+	}
+	if acting == m.st.pid {
+		m.maybeReconfigure("exclude")
+	}
+}
+
+func (m *member) sendPresence() {
+	if m.state != stateNormal || m.view.Coordinator() != m.st.pid {
+		return
+	}
+	m.multicast(&msgPresence{GID: m.gid, View: m.view.Clone()})
+}
+
+// onPresence implements HWG-level peer discovery: when two concurrent
+// views of the group can hear each other again, the coordinator with the
+// smaller identifier initiates a merge (Section 4, strategy point 1).
+// Discovered views accumulate in knownPeers so one flush can absorb
+// several concurrent views at once.
+func (m *member) onPresence(from ids.ProcessID, p *msgPresence) {
+	if p.View.ID == m.view.ID {
+		m.heard(from)
+	}
+	if m.view.ID.IsZero() || m.view.Coordinator() != m.st.pid {
+		return
+	}
+	w := p.View
+	if w.ID == m.view.ID {
+		return
+	}
+	if m.view.Contains(from) {
+		return // stale presence from a view already merged into ours
+	}
+	if w.Contains(m.st.pid) {
+		return // stale presence of a view this process has since left
+	}
+	if _, seen := m.knownPeers[w.ID]; !seen {
+		m.st.trace(m.gid, "discover", "concurrent view %v", w)
+	}
+	m.knownPeers[w.ID] = w.Clone()
+	m.mergePeers()
+}
+
+// --- timers --------------------------------------------------------------
+
+// startTimers arms the periodic protocol timers after the first install.
+// Heartbeat phases are staggered per (group, process) so that unrelated
+// groups do not beat in lockstep.
+func (m *member) startTimers() {
+	if m.hbTicker != nil {
+		return
+	}
+	cfg := m.st.cfg
+	phase := time.Duration((int64(m.gid)*131 + int64(m.st.pid)*17) % int64(cfg.HeartbeatInterval))
+	m.st.clock.After(phase, func() {
+		if m.hbTicker != nil {
+			return
+		}
+		if _, ok := m.st.groups[m.gid]; !ok {
+			return
+		}
+		m.hbTicker = m.st.clock.Every(cfg.HeartbeatInterval, m.sendHeartbeat)
+		m.fdTicker = m.st.clock.Every(cfg.FDCheckInterval, m.checkFailures)
+		m.presTicker = m.st.clock.Every(cfg.PresenceInterval, m.sendPresence)
+		m.nackTicker = m.st.clock.Every(cfg.NackInterval, m.scanGaps)
+		if cfg.AckPolicy == AckPeriodic {
+			m.ackTicker = m.st.clock.Every(cfg.AckInterval, m.sendAckVector)
+		}
+	})
+}
+
+func (m *member) stopTimers() {
+	for _, t := range []*sim.Ticker{m.hbTicker, m.fdTicker, m.presTicker, m.ackTicker, m.nackTicker, m.joinTicker} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	m.hbTicker, m.fdTicker, m.presTicker, m.ackTicker, m.nackTicker, m.joinTicker =
+		nil, nil, nil, nil, nil, nil
+	for _, t := range []*sim.Timer{m.joinTimer, m.respTimer} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	m.joinTimer, m.respTimer = nil, nil
+	if m.joinCommitTimer != nil {
+		m.joinCommitTimer.Stop()
+		m.joinCommitTimer = nil
+	}
+	if m.rc != nil {
+		if m.rc.timer != nil {
+			m.rc.timer.Stop()
+		}
+		m.rc = nil
+	}
+}
+
+// --- view installation ---------------------------------------------------
+
+// install makes v the current view: the old view's ordered residue is
+// delivered, per-view state is reset, pending sends drain into the new
+// view, and the View upcall fires.
+func (m *member) install(v ids.View) {
+	// Close the old view's total order before anything of the new view
+	// becomes visible.
+	m.flushOrderedResidue()
+	if m.joinTicker != nil {
+		m.joinTicker.Stop()
+		m.joinTicker = nil
+	}
+	if m.joinTimer != nil {
+		m.joinTimer.Stop()
+		m.joinTimer = nil
+	}
+	if m.respTimer != nil {
+		m.respTimer.Stop()
+		m.respTimer = nil
+	}
+	if m.joinCommitTimer != nil {
+		m.joinCommitTimer.Stop()
+		m.joinCommitTimer = nil
+	}
+	m.joinCommit = epoch{}
+	// A competing round supersedes any round of our own; void it so its
+	// responders resume immediately.
+	m.abortRound()
+	m.state = stateNormal
+	m.view = v.Clone()
+	m.stopPending = false
+	m.stopEpoch = epoch{}
+	m.nextSeq = 0
+	m.delivered = make(map[msgKey]bool)
+	m.buffer = make(map[msgKey]*msgData)
+	m.acks = make(map[msgKey]map[ids.ProcessID]bool)
+	m.ackVectors = make(map[ids.ProcessID]map[ids.ProcessID]uint64)
+	m.deliveredSeq = make(map[ids.ProcessID]uint64)
+	m.extras = make(map[msgKey]bool)
+	m.ordBuf = make(map[msgKey]*msgData)
+	m.ordTokens = make(map[uint64]msgKey)
+	m.ordNext = 0
+	m.ordCounter = 0
+	m.maxSeen = make(map[ids.ProcessID]uint64)
+	m.prevGaps = make(map[msgKey]bool)
+	m.lastHeard = make(map[ids.ProcessID]sim.Time, len(v.Members))
+	now := m.st.clock.Now()
+	for _, p := range v.Members {
+		m.lastHeard[p] = now
+	}
+	m.suspects = make(map[ids.ProcessID]bool)
+	for p := range m.pendingJoiners {
+		if v.Contains(p) {
+			delete(m.pendingJoiners, p)
+		}
+	}
+	for p := range m.leavers {
+		if !v.Contains(p) {
+			delete(m.leavers, p)
+		}
+	}
+	if v.ID.Coord == m.st.pid {
+		m.st.observeViewSeq(m.gid, v.ID.Seq)
+	}
+	m.st.trace(m.gid, "view-install", "%v%s", v.ID, v.Members)
+	m.startTimers()
+
+	if m.st.up != nil {
+		m.st.up.View(m.gid, v.Clone())
+	}
+	// Drain sends buffered during the change; they are (re)sent in the
+	// new view, preserving view-tagged delivery.
+	pend := m.pending
+	m.pending = nil
+	for _, p := range pend {
+		m.send(p)
+	}
+	// Serve joins and leaves that arrived while the flush was running.
+	if (len(m.pendingJoiners) > 0 || len(m.leavers) > 0) && m.view.Coordinator() == m.st.pid {
+		m.maybeReconfigure("join/leave")
+	}
+	// Keep merging concurrent views discovered during the change.
+	m.mergePeers()
+}
+
+// sortKeys orders message keys deterministically.
+func sortKeys(ks []msgKey) {
+	sort.Slice(ks, func(i, j int) bool {
+		a, b := ks[i], ks[j]
+		if a.View != b.View {
+			return a.View.Less(b.View)
+		}
+		if a.Sender != b.Sender {
+			return a.Sender < b.Sender
+		}
+		return a.Seq < b.Seq
+	})
+}
+
+// sortedFlushData orders retransmissions deterministically.
+func sortedFlushData(in map[msgKey]*msgData) []*msgData {
+	out := make([]*msgData, 0, len(in))
+	for _, d := range in {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.View != b.View {
+			return a.View.Less(b.View)
+		}
+		if a.Sender != b.Sender {
+			return a.Sender < b.Sender
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}

@@ -1,0 +1,33 @@
+package vsync
+
+import (
+	"encoding/gob"
+	"sync"
+)
+
+var registerOnce sync.Once
+
+// RegisterWireTypes registers the heavy-weight group layer's message
+// types with encoding/gob, for transports that serialize messages (the
+// real-network transport). The simulated network passes messages by
+// reference and does not need this.
+func RegisterWireTypes() {
+	registerOnce.Do(func() {
+		gob.Register(&msgData{})
+		gob.Register(&ordToken{})
+		gob.Register(&msgAck{})
+		gob.Register(&msgNack{})
+		gob.Register(&msgRetrans{})
+		gob.Register(&msgAckVector{})
+		gob.Register(&msgHeartbeat{})
+		gob.Register(&msgPresence{})
+		gob.Register(&msgJoinReq{})
+		gob.Register(&msgLeaveReq{})
+		gob.Register(&msgStop{})
+		gob.Register(&msgAbort{})
+		gob.Register(&msgFlushOk{})
+		gob.Register(&msgFlushPull{})
+		gob.Register(&msgFlushFill{})
+		gob.Register(&msgNewView{})
+	})
+}
