@@ -1,0 +1,130 @@
+// Command lwgcheck sweeps the light-weight group stack through seeded
+// random chaos schedules, verifies the paper's safety properties with the
+// invariant checker (internal/check), and shrinks any failing schedule to
+// a minimal reproducer.
+//
+// Usage:
+//
+//	lwgcheck -seeds 1000                # sweep seeds 1..1000
+//	lwgcheck -seeds 50 -nodes 12 -ops 100 -duration 45s
+//	lwgcheck -replay failing.schedule   # re-run a printed reproducer
+//
+// On failure the reproducer is printed in the replayable schedule format
+// and the exit status is 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"plwg/internal/check"
+	"plwg/internal/explore"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lwgcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lwgcheck", flag.ContinueOnError)
+	seeds := fs.Int("seeds", 100, "number of seeds to sweep")
+	start := fs.Int64("start", 1, "first seed")
+	nodes := fs.Int("nodes", 8, "cluster size")
+	ops := fs.Int("ops", 60, "operations per schedule")
+	lwgs := fs.Int("lwgs", 3, "light-weight groups per schedule")
+	crashes := fs.Int("crashes", 2, "crash budget per schedule")
+	duration := fs.Duration("duration", 0, "quiescence window after the final heal (0 = default 30s)")
+	replay := fs.String("replay", "", "replay a schedule file instead of sweeping")
+	noShrink := fs.Bool("noshrink", false, "report failures without shrinking")
+	verbose := fs.Bool("v", false, "print one line per seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *nodes < 2 {
+		return fmt.Errorf("-nodes must be at least 2 (got %d)", *nodes)
+	}
+	if *lwgs < 1 {
+		return fmt.Errorf("-lwgs must be at least 1 (got %d)", *lwgs)
+	}
+	if *ops < 0 || *seeds < 0 || *crashes < 0 {
+		return fmt.Errorf("-ops, -seeds and -crashes must not be negative")
+	}
+
+	if *replay != "" {
+		text, err := os.ReadFile(*replay)
+		if err != nil {
+			return err
+		}
+		s, err := explore.Parse(string(text))
+		if err != nil {
+			return err
+		}
+		r := explore.Run(s)
+		report(out, s, r)
+		if r.Failed() {
+			return fmt.Errorf("schedule failed")
+		}
+		fmt.Fprintf(out, "schedule passed (%d trace events)\n", len(r.World.Events))
+		return nil
+	}
+
+	cfg := explore.GenConfig{
+		Nodes:   *nodes,
+		Ops:     *ops,
+		LWGs:    *lwgs,
+		Crashes: *crashes,
+		Quiesce: *duration,
+	}
+	swept := 0
+	failing := explore.Sweep(*start, *seeds, cfg, func(seed int64, r explore.Result) {
+		swept++
+		if *verbose || r.Failed() {
+			status := "ok"
+			if r.Failed() {
+				status = fmt.Sprintf("FAIL (%d violations, completed=%v)",
+					len(r.Violations), r.Completed)
+			}
+			fmt.Fprintf(out, "seed %d: %s\n", seed, status)
+		}
+	})
+	fmt.Fprintf(out, "%d seeds swept, %d failing\n", swept, len(failing))
+	if len(failing) == 0 {
+		return nil
+	}
+
+	// Shrink and print a reproducer for the first failure; the rest are
+	// listed by seed only.
+	s := failing[0]
+	if !*noShrink {
+		fmt.Fprintf(out, "shrinking seed %d (%d ops)...\n", s.Seed, len(s.Ops))
+		s = explore.Shrink(s, func(c explore.Schedule) bool {
+			return explore.Run(c).Failed()
+		})
+	}
+	report(out, s, explore.Run(s))
+	if len(failing) > 1 {
+		fmt.Fprintf(out, "other failing seeds:")
+		for _, f := range failing[1:] {
+			fmt.Fprintf(out, " %d", f.Seed)
+		}
+		fmt.Fprintln(out)
+	}
+	return fmt.Errorf("%d of %d seeds failed", len(failing), swept)
+}
+
+func report(out io.Writer, s explore.Schedule, r explore.Result) {
+	if !r.Completed {
+		fmt.Fprintf(out, "run did not complete within the step budget (livelock?)\n")
+	}
+	if len(r.Violations) > 0 {
+		fmt.Fprintf(out, "violations:\n%s", check.Summary(r.Violations))
+	}
+	if r.Failed() {
+		fmt.Fprintf(out, "reproducer:\n%s", explore.Reproducer(s))
+	}
+}

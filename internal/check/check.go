@@ -1,0 +1,252 @@
+// Package check verifies the paper's global safety properties — the
+// correctness claims of Sections 5 and 6 — over recorded protocol traces
+// and end-state snapshots:
+//
+//   - virtually synchronous delivery within light-weight group views:
+//     processes that install the same two consecutive views deliver the
+//     same multiset of messages between them, no message is delivered
+//     more often than it was sent, a sender (that survives) delivers its
+//     own message, and deliveries only come from members of the view;
+//   - view-identifier genealogy forms a strict partial order, and no
+//     process ever regresses to an ancestor of a view it installed;
+//   - after a partition heals and the system quiesces, the surviving
+//     members of every light-weight group converge on a single view with
+//     a single heavy-weight mapping;
+//   - the naming databases converge to at most one live mapping per
+//     group, agreeing across servers.
+//
+// The checker is pure: it consumes a World snapshot (trace events plus
+// read-only endpoint and naming-database state) and returns the list of
+// violations, so any test or tool — the chaos tests, the schedule
+// explorer (internal/explore) and the lwgcheck CLI — can share one
+// implementation instead of hand-rolled assertions.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"plwg/internal/ids"
+	"plwg/internal/naming"
+	"plwg/internal/trace"
+)
+
+// Invariant identifiers carried by violations.
+const (
+	InvAgreement    = "vs-agreement"       // same-view delivery sets differ
+	InvDuplicate    = "vs-duplicate"       // delivered more often than sent
+	InvLost         = "vs-self-delivery"   // sender missed its own message
+	InvForeignSrc   = "vs-foreign-source"  // delivery from a non-member
+	InvOrder        = "genealogy-order"    // ancestry is not a strict partial order
+	InvRegression   = "view-regression"    // installed an ancestor of a prior view
+	InvViewIdentity = "view-identity"      // one view identifier, two member sets
+	InvConvergence  = "heal-convergence"   // survivors disagree after heal
+	InvMapping      = "mapping-agreement"  // members disagree on the HWG mapping
+	InvNaming       = "naming-convergence" // naming databases kept conflicts
+)
+
+// Violation is one detected breach of a safety property.
+type Violation struct {
+	// Invariant is one of the Inv* identifiers.
+	Invariant string
+	// Group names the group concerned (LWG name, or HWGID rendering).
+	Group string
+	// Node is the offending process, or -1 for a global property.
+	Node ids.ProcessID
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// String renders the violation as one line.
+func (v Violation) String() string {
+	at := "global"
+	if v.Node >= 0 {
+		at = v.Node.String()
+	}
+	return fmt.Sprintf("[%s] %s @%s: %s", v.Invariant, v.Group, at, v.Detail)
+}
+
+// Process is the read-only endpoint surface the checker consumes.
+// *core.Endpoint implements it.
+type Process interface {
+	LWGs() []ids.LWGID
+	LWGView(ids.LWGID) (ids.View, bool)
+	Mapping(ids.LWGID) (ids.HWGID, bool)
+}
+
+// World is a snapshot of a run: the recorded trace plus read-only state.
+// Any field may be left zero to skip the checks that need it.
+type World struct {
+	// Events is the recorded trace (all layers; the checker filters).
+	Events []trace.Event
+	// Procs holds the live endpoints by process.
+	Procs map[ids.ProcessID]Process
+	// Servers holds each naming server's database by server process.
+	Servers map[ids.ProcessID]*naming.DB
+	// Expected, when non-nil, asserts the run has quiesced: it maps every
+	// light-weight group to the membership expected after the final heal
+	// (the survivors). It enables the convergence checks and the
+	// final-window delivery agreement.
+	Expected map[ids.LWGID]ids.Members
+	// Crashed marks processes that crashed during the run; they are
+	// exempt from liveness-flavoured checks (self-delivery).
+	Crashed map[ids.ProcessID]bool
+}
+
+// Quiescent reports whether the world claims to have quiesced (Expected
+// set), which arms the end-state checks.
+func (w *World) Quiescent() bool { return w.Expected != nil }
+
+// Run executes every check and returns the violations in deterministic
+// order.
+func Run(w *World) []Violation {
+	var out []Violation
+	out = append(out, DeliverySafety(w)...)
+	out = append(out, GenealogyOrder(w.Events)...)
+	out = append(out, Convergence(w)...)
+	out = append(out, NamingConvergence(w)...)
+	Sort(out)
+	return out
+}
+
+// Sort orders violations deterministically (by invariant, group, node,
+// detail).
+func Sort(vs []Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		a, b := vs[i], vs[j]
+		if a.Invariant != b.Invariant {
+			return a.Invariant < b.Invariant
+		}
+		if a.Group != b.Group {
+			return a.Group < b.Group
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Detail < b.Detail
+	})
+}
+
+// Summary renders violations one per line (empty string when none).
+func Summary(vs []Violation) string {
+	out := ""
+	for _, v := range vs {
+		out += v.String() + "\n"
+	}
+	return out
+}
+
+// --- end-state convergence ---------------------------------------------------
+
+// Convergence checks that, per light-weight group, every expected
+// surviving member ended with the same view — containing exactly the
+// survivors — and the same heavy-weight mapping. It needs Expected and
+// Procs.
+func Convergence(w *World) []Violation {
+	if w.Expected == nil || w.Procs == nil {
+		return nil
+	}
+	var out []Violation
+	for _, lwg := range sortedLWGs(w.Expected) {
+		want := w.Expected[lwg]
+		if len(want) == 0 {
+			continue
+		}
+		ref, ok := w.Procs[want[0]].LWGView(lwg)
+		if !ok {
+			out = append(out, Violation{InvConvergence, string(lwg), want[0],
+				"no view after quiescence"})
+			continue
+		}
+		if !ref.Members.Equal(want) {
+			out = append(out, Violation{InvConvergence, string(lwg), want[0],
+				fmt.Sprintf("members %v, want %v", ref.Members, want)})
+		}
+		refHwg, _ := w.Procs[want[0]].Mapping(lwg)
+		for _, p := range want[1:] {
+			v, ok := w.Procs[p].LWGView(lwg)
+			if !ok || v.ID != ref.ID {
+				out = append(out, Violation{InvConvergence, string(lwg), p,
+					fmt.Sprintf("view %v (ok=%v), want %v", v.ID, ok, ref.ID)})
+			}
+			if h, _ := w.Procs[p].Mapping(lwg); h != refHwg {
+				out = append(out, Violation{InvMapping, string(lwg), p,
+					fmt.Sprintf("mapped on %v, %v mapped on %v", h, want[0], refHwg)})
+			}
+		}
+	}
+	return out
+}
+
+// NamingConvergence checks that every naming database holds at most one
+// live mapping per group, that a mapping survives for groups that still
+// have members, and that the servers agree on it. It needs Servers;
+// Expected arms the liveness and cross-server checks.
+func NamingConvergence(w *World) []Violation {
+	if len(w.Servers) == 0 {
+		return nil
+	}
+	var out []Violation
+	type mapping struct {
+		view ids.ViewID
+		hwg  ids.HWGID
+	}
+	agreed := make(map[ids.LWGID]mapping)
+	agreedBy := make(map[ids.LWGID]ids.ProcessID)
+	for _, srv := range sortedServers(w.Servers) {
+		db := w.Servers[srv]
+		names := db.LWGs()
+		for _, lwg := range names {
+			live := db.Live(lwg)
+			if len(live) > 1 {
+				out = append(out, Violation{InvNaming, string(lwg), srv,
+					fmt.Sprintf("%d live mappings:\n%s", len(live), db.Dump())})
+				continue
+			}
+			if len(live) == 0 {
+				continue
+			}
+			got := mapping{live[0].View, live[0].HWG}
+			if prev, ok := agreed[lwg]; ok && w.Quiescent() && prev != got {
+				out = append(out, Violation{InvNaming, string(lwg), srv,
+					fmt.Sprintf("live mapping %v->%v disagrees with %v's %v->%v",
+						got.view, got.hwg, agreedBy[lwg], prev.view, prev.hwg)})
+			} else if !ok {
+				agreed[lwg] = got
+				agreedBy[lwg] = srv
+			}
+		}
+	}
+	if w.Quiescent() {
+		for _, lwg := range sortedLWGs(w.Expected) {
+			if len(w.Expected[lwg]) == 0 {
+				continue
+			}
+			for _, srv := range sortedServers(w.Servers) {
+				if len(w.Servers[srv].Live(lwg)) == 0 {
+					out = append(out, Violation{InvNaming, string(lwg), srv,
+						"no live mapping for a group that still has members"})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sortedLWGs[V any](m map[ids.LWGID]V) []ids.LWGID {
+	out := make([]ids.LWGID, 0, len(m))
+	for l := range m {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedServers(m map[ids.ProcessID]*naming.DB) []ids.ProcessID {
+	out := make([]ids.ProcessID, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

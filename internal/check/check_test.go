@@ -1,0 +1,352 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"plwg/internal/ids"
+	"plwg/internal/naming"
+	"plwg/internal/trace"
+)
+
+var (
+	vA = ids.ViewID{Coord: 1, Seq: 1}
+	vB = ids.ViewID{Coord: 1, Seq: 2}
+	vC = ids.ViewID{Coord: 2, Seq: 7}
+)
+
+// evInstall builds a structured view-install event.
+func evInstall(node ids.ProcessID, lwg string, v ids.ViewID, ms ids.Members, parents ...ids.ViewID) trace.Event {
+	return trace.Event{
+		Node: node, Layer: "lwg", What: trace.LWGViewInstall,
+		Group: lwg, View: v, Members: ms, Parents: parents,
+	}
+}
+
+func evSend(node ids.ProcessID, lwg string, v ids.ViewID, data string) trace.Event {
+	return trace.Event{
+		Node: node, Layer: "lwg", What: trace.LWGSend,
+		Group: lwg, View: v, Src: node, Data: data,
+	}
+}
+
+func evDeliver(node ids.ProcessID, lwg string, v ids.ViewID, src ids.ProcessID, data string) trace.Event {
+	return trace.Event{
+		Node: node, Layer: "lwg", What: trace.LWGDeliver,
+		Group: lwg, View: v, Src: src, Data: data,
+	}
+}
+
+// cleanRun is a correct two-process run: both install vA, exchange one
+// message, then install vB.
+func cleanRun() []trace.Event {
+	m12 := ids.NewMembers(1, 2)
+	return []trace.Event{
+		evInstall(1, "g", vA, m12),
+		evInstall(2, "g", vA, m12),
+		evSend(1, "g", vA, "m1"),
+		evDeliver(1, "g", vA, 1, "m1"),
+		evDeliver(2, "g", vA, 1, "m1"),
+		evInstall(1, "g", vB, m12, vA),
+		evInstall(2, "g", vB, m12, vA),
+	}
+}
+
+func invariants(vs []Violation) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range vs {
+		if !seen[v.Invariant] {
+			seen[v.Invariant] = true
+			out = append(out, v.Invariant)
+		}
+	}
+	return out
+}
+
+func TestCleanRunHasNoViolations(t *testing.T) {
+	w := &World{Events: cleanRun()}
+	if vs := Run(w); len(vs) != 0 {
+		t.Fatalf("clean run flagged:\n%s", Summary(vs))
+	}
+}
+
+// TestSuppressedDeliveryDetected is the acceptance check: dropping one
+// delivery from an otherwise virtually synchronous run must surface as an
+// agreement violation (and, since the victim closed the window, nothing
+// else masks it).
+func TestSuppressedDeliveryDetected(t *testing.T) {
+	evs := cleanRun()
+	var cut []trace.Event
+	for _, e := range evs {
+		if e.What == trace.LWGDeliver && e.Node == 2 {
+			continue // suppressed: p2 never sees m1
+		}
+		cut = append(cut, e)
+	}
+	vs := Run(&World{Events: cut})
+	if len(vs) == 0 {
+		t.Fatal("suppressed delivery not detected")
+	}
+	found := false
+	for _, v := range vs {
+		if v.Invariant == InvAgreement && v.Group == "g" {
+			found = true
+			if !strings.Contains(v.Detail, "m1") {
+				t.Errorf("violation does not name the message: %s", v.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no %s violation, got:\n%s", InvAgreement, Summary(vs))
+	}
+}
+
+// TestSuppressedSelfDeliveryDetected drops the SENDER's own delivery:
+// even without a closing view change this must surface, via the
+// self-delivery check.
+func TestSuppressedSelfDeliveryDetected(t *testing.T) {
+	m12 := ids.NewMembers(1, 2)
+	evs := []trace.Event{
+		evInstall(1, "g", vA, m12),
+		evInstall(2, "g", vA, m12),
+		evSend(1, "g", vA, "m1"),
+		// p1's own delivery suppressed; p2 delivers fine.
+		evDeliver(2, "g", vA, 1, "m1"),
+	}
+	// Self-delivery is a quiescence check: without Expected nothing fires
+	// (the message could still be in flight).
+	if vs := Run(&World{Events: evs}); len(vs) != 0 {
+		t.Fatalf("non-quiescent run flagged:\n%s", Summary(vs))
+	}
+	expected := map[ids.LWGID]ids.Members{"g": m12}
+	vs := Run(&World{Events: evs, Expected: expected})
+	found := false
+	for _, v := range vs {
+		if v.Invariant == InvLost && v.Node == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lost self-delivery not detected, got:\n%s", Summary(vs))
+	}
+	// A crashed sender is exempt.
+	vs = Run(&World{Events: evs,
+		Expected: map[ids.LWGID]ids.Members{"g": ids.NewMembers(2)},
+		Crashed:  map[ids.ProcessID]bool{1: true}})
+	for _, v := range vs {
+		if v.Invariant == InvLost {
+			t.Fatalf("crashed sender flagged: %s", v)
+		}
+	}
+}
+
+func TestDuplicateDeliveryDetected(t *testing.T) {
+	evs := append(cleanRun(), evDeliver(2, "g", vB, 1, "m1"))
+	// m1 was sent once in vA; the extra delivery claims view vB, where it
+	// was never sent.
+	vs := Run(&World{Events: evs})
+	found := false
+	for _, v := range vs {
+		if v.Invariant == InvDuplicate && v.Node == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("duplicate delivery not detected, got:\n%s", Summary(vs))
+	}
+}
+
+func TestForeignSourceDetected(t *testing.T) {
+	m12 := ids.NewMembers(1, 2)
+	evs := []trace.Event{
+		evInstall(1, "g", vA, m12),
+		evSend(3, "g", vA, "x"),
+		evDeliver(1, "g", vA, 3, "x"), // p3 is not a member of vA
+	}
+	vs := Run(&World{Events: evs})
+	found := false
+	for _, v := range vs {
+		if v.Invariant == InvForeignSrc {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("foreign source not detected, got:\n%s", Summary(vs))
+	}
+}
+
+func TestViewIdentityDetected(t *testing.T) {
+	evs := []trace.Event{
+		evInstall(1, "g", vA, ids.NewMembers(1, 2)),
+		evInstall(2, "g", vA, ids.NewMembers(1, 2, 3)), // same ID, other set
+	}
+	vs := Run(&World{Events: evs})
+	if got := invariants(vs); len(got) != 1 || got[0] != InvViewIdentity {
+		t.Fatalf("want exactly %s, got:\n%s", InvViewIdentity, Summary(vs))
+	}
+}
+
+func TestGenealogyRegressionDetected(t *testing.T) {
+	m := ids.NewMembers(1)
+	evs := []trace.Event{
+		evInstall(1, "g", vA, m),
+		evInstall(1, "g", vB, m, vA), // vA ≺ vB
+		evInstall(1, "g", vA, m),     // regression: back to the ancestor
+	}
+	vs := Run(&World{Events: evs})
+	found := false
+	for _, v := range vs {
+		if v.Invariant == InvRegression && v.Node == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("regression not detected, got:\n%s", Summary(vs))
+	}
+}
+
+func TestGenealogyCycleDetected(t *testing.T) {
+	m := ids.NewMembers(1)
+	evs := []trace.Event{
+		evInstall(1, "g", vA, m, vB), // vB ≺ vA ...
+		evInstall(2, "g", vB, m, vA), // ... and vA ≺ vB: a cycle
+	}
+	vs := Run(&World{Events: evs})
+	found := false
+	for _, v := range vs {
+		if v.Invariant == InvOrder {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ancestry cycle not detected, got:\n%s", Summary(vs))
+	}
+}
+
+// --- end-state checks --------------------------------------------------------
+
+type fakeProc struct {
+	views map[ids.LWGID]ids.View
+	maps  map[ids.LWGID]ids.HWGID
+}
+
+func (f *fakeProc) LWGs() []ids.LWGID {
+	var out []ids.LWGID
+	for l := range f.views {
+		out = append(out, l)
+	}
+	return out
+}
+
+func (f *fakeProc) LWGView(l ids.LWGID) (ids.View, bool) {
+	v, ok := f.views[l]
+	return v, ok
+}
+
+func (f *fakeProc) Mapping(l ids.LWGID) (ids.HWGID, bool) {
+	h, ok := f.maps[l]
+	return h, ok
+}
+
+func proc(l ids.LWGID, v ids.View, h ids.HWGID) *fakeProc {
+	return &fakeProc{
+		views: map[ids.LWGID]ids.View{l: v},
+		maps:  map[ids.LWGID]ids.HWGID{l: h},
+	}
+}
+
+func TestConvergenceChecks(t *testing.T) {
+	view := ids.View{ID: vA, Members: ids.NewMembers(1, 2)}
+	ok := &World{
+		Procs: map[ids.ProcessID]Process{
+			1: proc("g", view, 5),
+			2: proc("g", view, 5),
+		},
+		Expected: map[ids.LWGID]ids.Members{"g": ids.NewMembers(1, 2)},
+	}
+	if vs := Convergence(ok); len(vs) != 0 {
+		t.Fatalf("converged world flagged:\n%s", Summary(vs))
+	}
+
+	split := &World{
+		Procs: map[ids.ProcessID]Process{
+			1: proc("g", view, 5),
+			2: proc("g", ids.View{ID: vC, Members: ids.NewMembers(2)}, 6),
+		},
+		Expected: map[ids.LWGID]ids.Members{"g": ids.NewMembers(1, 2)},
+	}
+	vs := Convergence(split)
+	got := map[string]bool{}
+	for _, v := range vs {
+		got[v.Invariant] = true
+	}
+	if !got[InvConvergence] || !got[InvMapping] {
+		t.Fatalf("split world: want %s and %s, got:\n%s",
+			InvConvergence, InvMapping, Summary(vs))
+	}
+}
+
+func TestNamingConvergenceChecks(t *testing.T) {
+	entry := func(v ids.ViewID, h ids.HWGID, ver uint64, anc ...ids.ViewID) naming.Entry {
+		return naming.Entry{LWG: "g", View: v, Ancestors: anc, HWG: h, Ver: ver}
+	}
+	// Conflicting concurrent mappings on one server.
+	db := naming.NewDB()
+	db.Put(entry(vA, 5, 1))
+	db.Put(entry(vC, 6, 2))
+	w := &World{Servers: map[ids.ProcessID]*naming.DB{0: db}}
+	vs := NamingConvergence(w)
+	if len(vs) == 0 || vs[0].Invariant != InvNaming {
+		t.Fatalf("conflicting mappings not flagged:\n%s", Summary(vs))
+	}
+
+	// Two servers disagreeing on the (single) live mapping.
+	dbA, dbB := naming.NewDB(), naming.NewDB()
+	dbA.Put(entry(vA, 5, 1))
+	dbB.Put(entry(vC, 6, 2))
+	w = &World{
+		Servers:  map[ids.ProcessID]*naming.DB{0: dbA, 4: dbB},
+		Expected: map[ids.LWGID]ids.Members{"g": ids.NewMembers(1)},
+	}
+	vs = NamingConvergence(w)
+	found := false
+	for _, v := range vs {
+		if v.Invariant == InvNaming && strings.Contains(v.Detail, "disagrees") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cross-server disagreement not flagged:\n%s", Summary(vs))
+	}
+
+	// A group with members but no surviving mapping anywhere.
+	w = &World{
+		Servers:  map[ids.ProcessID]*naming.DB{0: naming.NewDB()},
+		Expected: map[ids.LWGID]ids.Members{"g": ids.NewMembers(1)},
+	}
+	vs = NamingConvergence(w)
+	if len(vs) == 0 {
+		t.Fatal("missing mapping not flagged")
+	}
+}
+
+func TestAgreementFinalWindow(t *testing.T) {
+	logs := map[ids.ProcessID][]Record{
+		1: {Install(vA), Deliver(1, "m1")},
+		2: {Install(vA)}, // never saw m1, never installed another view
+	}
+	if vs := Agreement("g", logs, nil); len(vs) != 0 {
+		t.Fatalf("open window flagged without quiescence:\n%s", Summary(vs))
+	}
+	all := func(ids.ProcessID) bool { return true }
+	vs := Agreement("g", logs, all)
+	if len(vs) == 0 {
+		t.Fatal("final-window divergence not flagged under quiescence")
+	}
+	// With p2 excluded (it crashed or left), its open window is ignored.
+	only1 := func(p ids.ProcessID) bool { return p == 1 }
+	if vs := Agreement("g", logs, only1); len(vs) != 0 {
+		t.Fatalf("non-final process's window compared:\n%s", Summary(vs))
+	}
+}

@@ -1,0 +1,235 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"plwg/internal/ids"
+	"plwg/internal/trace"
+)
+
+// Record is one upcall in a per-process delivery log: either a view
+// installation (View non-zero) or a data delivery (Src/Data set). The
+// log-based API lets layers without structured tracing — the vsync tests
+// record upcalls directly — share the agreement checker.
+type Record struct {
+	// View, when non-zero, marks installation of that view.
+	View ids.ViewID
+	// Src and Data describe a delivered message (View zero).
+	Src  ids.ProcessID
+	Data string
+}
+
+// Install returns a view-installation record.
+func Install(v ids.ViewID) Record { return Record{View: v} }
+
+// Deliver returns a data-delivery record.
+func Deliver(src ids.ProcessID, data string) Record {
+	return Record{Src: src, Data: data}
+}
+
+// endMark keys the batch delivered after a process's final view install.
+const endMark = "∎"
+
+// windows slices one process's log into per-view delivery batches keyed
+// by "oldView->newView". Consecutive installs of the same view (switch
+// re-binding) extend the current batch. When final is set, the batch
+// after the last install is kept under "lastView->∎" — valid only for
+// quiescent runs, where no further deliveries are pending.
+func windows(log []Record, final bool) map[string][]string {
+	out := make(map[string][]string)
+	var cur ids.ViewID
+	var batch []string
+	for _, r := range log {
+		if r.View.IsZero() {
+			batch = append(batch, fmt.Sprintf("%v:%s", r.Src, r.Data))
+			continue
+		}
+		if r.View == cur {
+			continue // re-binding: same view, batch continues
+		}
+		if !cur.IsZero() {
+			out[cur.String()+"->"+r.View.String()] = batch
+		}
+		batch = nil
+		cur = r.View
+	}
+	if final && !cur.IsZero() {
+		out[cur.String()+"->"+endMark] = batch
+	}
+	return out
+}
+
+// Agreement checks virtually synchronous delivery agreement over
+// per-process logs of one group: any two processes that both installed
+// the same two consecutive views must have delivered the same multiset
+// of messages between them.
+//
+// final selects the processes whose last open view window is also
+// compared (nil: none). That is only sound for processes known to have
+// finished delivering — survivors of a quiescent run — so callers pass a
+// predicate for "is a final member"; processes that crashed or left
+// mid-view stop delivering early and must keep their last window open.
+func Agreement(group string, logs map[ids.ProcessID][]Record, final func(ids.ProcessID) bool) []Violation {
+	per := make(map[ids.ProcessID]map[string][]string, len(logs))
+	pids := make([]ids.ProcessID, 0, len(logs))
+	for p, log := range logs {
+		per[p] = windows(log, final != nil && final(p))
+		pids = append(pids, p)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+
+	var out []Violation
+	for i, p := range pids {
+		for _, q := range pids[i+1:] {
+			for key, dp := range per[p] {
+				dq, ok := per[q][key]
+				if !ok {
+					continue // q did not install both views
+				}
+				diff := make(map[string]int)
+				for _, d := range dp {
+					diff[d]++
+				}
+				for _, d := range dq {
+					diff[d]--
+				}
+				keys := make([]string, 0, len(diff))
+				for d, n := range diff {
+					if n != 0 {
+						keys = append(keys, d)
+					}
+				}
+				sort.Strings(keys)
+				for _, d := range keys {
+					out = append(out, Violation{InvAgreement, group, q, fmt.Sprintf(
+						"window %s: delivery of %q differs between %v and %v (%+d)",
+						key, d, p, q, diff[d])})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DeliverySafety runs every event-based delivery check over the LWG-layer
+// trace: agreement, duplicate suppression, sender self-delivery and
+// member-only sourcing.
+func DeliverySafety(w *World) []Violation {
+	type key struct {
+		view ids.ViewID
+		src  ids.ProcessID
+		data string
+	}
+	// Per group: per-process logs, send counts, delivery counts, and the
+	// installed membership of each view.
+	logs := make(map[string]map[ids.ProcessID][]Record)
+	sent := make(map[string]map[key]int)
+	delivered := make(map[string]map[ids.ProcessID]map[key]int)
+	members := make(map[string]map[ids.ViewID]ids.Members)
+
+	ensure := func(group string) {
+		if logs[group] == nil {
+			logs[group] = make(map[ids.ProcessID][]Record)
+			sent[group] = make(map[key]int)
+			delivered[group] = make(map[ids.ProcessID]map[key]int)
+			members[group] = make(map[ids.ViewID]ids.Members)
+		}
+	}
+
+	var out []Violation
+	for _, e := range w.Events {
+		if e.Layer != "lwg" {
+			continue
+		}
+		switch e.What {
+		case trace.LWGViewInstall:
+			ensure(e.Group)
+			logs[e.Group][e.Node] = append(logs[e.Group][e.Node], Install(e.View))
+			if prev, ok := members[e.Group][e.View]; ok {
+				if !prev.Equal(e.Members) {
+					out = append(out, Violation{InvViewIdentity, e.Group, e.Node,
+						fmt.Sprintf("view %v installed with members %v and %v",
+							e.View, prev, e.Members)})
+				}
+			} else {
+				members[e.Group][e.View] = e.Members
+			}
+		case trace.LWGSend:
+			ensure(e.Group)
+			sent[e.Group][key{e.View, e.Node, e.Data}]++
+		case trace.LWGDeliver:
+			ensure(e.Group)
+			logs[e.Group][e.Node] = append(logs[e.Group][e.Node], Deliver(e.Src, e.Data))
+			d := delivered[e.Group][e.Node]
+			if d == nil {
+				d = make(map[key]int)
+				delivered[e.Group][e.Node] = d
+			}
+			d[key{e.View, e.Src, e.Data}]++
+			if ms, ok := members[e.Group][e.View]; ok && !ms.Contains(e.Src) {
+				out = append(out, Violation{InvForeignSrc, e.Group, e.Node,
+					fmt.Sprintf("delivered %q from %v, not a member of view %v%v",
+						e.Data, e.Src, e.View, ms)})
+			}
+		}
+	}
+
+	for _, group := range sortedKeys(logs) {
+		// Final-window comparison and the self-delivery check only cover
+		// processes still members at quiescence: anyone who crashed or
+		// left stopped delivering mid-view, legitimately.
+		finalMember := func(p ids.ProcessID) bool {
+			return w.Quiescent() && !w.Crashed[p] &&
+				w.Expected[ids.LWGID(group)].Contains(p)
+		}
+		out = append(out, Agreement(group, logs[group], finalMember)...)
+
+		// Duplicate check: nobody delivers a message more often than its
+		// source sent it in that view (and never a message nobody sent).
+		for _, p := range sortedPIDs(delivered[group]) {
+			for k, n := range delivered[group][p] {
+				if s := sent[group][k]; n > s {
+					out = append(out, Violation{InvDuplicate, group, p, fmt.Sprintf(
+						"delivered %q from %v in %v %d times, sent %d times",
+						k.data, k.src, k.view, n, s)})
+				}
+			}
+		}
+
+		// Self-delivery: a surviving sender delivers its own message in
+		// the view it stamped it with (the vsync substrate loops
+		// multicasts back to the sender before any view change can
+		// supersede the stamped view). Only checkable at quiescence, and
+		// only for senders still members at the end.
+		for k, n := range sent[group] {
+			if !finalMember(k.src) {
+				continue
+			}
+			if got := delivered[group][k.src][k]; got < n {
+				out = append(out, Violation{InvLost, group, k.src, fmt.Sprintf(
+					"sent %q in %v %d times but delivered own message %d times",
+					k.data, k.view, n, got)})
+			}
+		}
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedPIDs[V any](m map[ids.ProcessID]V) []ids.ProcessID {
+	out := make([]ids.ProcessID, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

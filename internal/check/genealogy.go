@@ -1,0 +1,86 @@
+package check
+
+import (
+	"fmt"
+
+	"plwg/internal/ids"
+	"plwg/internal/trace"
+)
+
+// GenealogyOrder checks that, per light-weight group, the view ancestry
+// declared by installed views forms a strict partial order — irreflexive
+// and antisymmetric; transitivity holds by construction of the closure —
+// and that no process ever installs a view that is an ancestor of a view
+// it had already installed (no regression to the past).
+func GenealogyOrder(events []trace.Event) []Violation {
+	type install struct {
+		node ids.ProcessID
+		view ids.ViewID
+	}
+	gens := make(map[string]*ids.Genealogy)
+	seq := make(map[string][]install)
+	for _, e := range events {
+		if e.Layer != "lwg" || e.What != trace.LWGViewInstall {
+			continue
+		}
+		g := gens[e.Group]
+		if g == nil {
+			g = ids.NewGenealogy()
+			gens[e.Group] = g
+		}
+		g.Record(e.View, e.Parents)
+		seq[e.Group] = append(seq[e.Group], install{e.Node, e.View})
+	}
+
+	var out []Violation
+	for _, group := range sortedKeys(gens) {
+		g := gens[group]
+
+		// Strictness: no view is its own ancestor, and no two views are
+		// mutual ancestors.
+		var views ids.ViewIDs
+		seen := make(map[ids.ViewID]bool)
+		for _, in := range seq[group] {
+			if !seen[in.view] {
+				seen[in.view] = true
+				views = append(views, in.view)
+			}
+		}
+		ids.SortViewIDs(views)
+		for i, v := range views {
+			if g.IsAncestor(v, v) {
+				out = append(out, Violation{InvOrder, group, -1,
+					fmt.Sprintf("view %v is its own ancestor", v)})
+			}
+			for _, u := range views[i+1:] {
+				if g.IsAncestor(v, u) && g.IsAncestor(u, v) {
+					out = append(out, Violation{InvOrder, group, -1,
+						fmt.Sprintf("views %v and %v are mutual ancestors", v, u)})
+				}
+			}
+		}
+
+		// No regression: once a process installed view u, it never
+		// installs a strict ancestor of u afterwards. (Consecutively
+		// re-installing the same identifier — a switch re-binding — is
+		// legitimate; returning to an old identifier later is not.)
+		prior := make(map[ids.ProcessID]ids.ViewIDs)
+		last := make(map[ids.ProcessID]ids.ViewID)
+		for _, in := range seq[group] {
+			if v, ok := last[in.node]; ok && v == in.view {
+				continue
+			}
+			for _, u := range prior[in.node] {
+				if u != in.view && g.IsAncestor(in.view, u) {
+					out = append(out, Violation{InvRegression, group, in.node,
+						fmt.Sprintf("installed %v after its descendant %v", in.view, u)})
+				}
+			}
+			if !prior[in.node].Contains(in.view) {
+				prior[in.node] = append(prior[in.node], in.view)
+			}
+			last[in.node] = in.view
+		}
+	}
+	return out
+}

@@ -1,34 +1,49 @@
 package core
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"testing"
 	"time"
 
+	"plwg/internal/check"
 	"plwg/internal/ids"
 	"plwg/internal/naming"
 	"plwg/internal/netsim"
 )
 
+// Chaos test volume. The soak sweep is also reachable the legacy way via
+// PLWG_SOAK=1; for open-ended exploration beyond fixed seeds use
+// `go run ./cmd/lwgcheck`, which shrinks failures to minimal reproducers.
+var (
+	chaosSeeds = flag.Int64("chaos.seeds", 12, "number of chaos schedule seeds to run")
+	chaosSoak  = flag.Bool("chaos.soak", false, "run the 100-seed soak sweep")
+)
+
 // TestChaosConvergence drives the full stack through a random schedule
 // of joins, leaves, sends, partitions, heals and crashes, then heals the
-// network and checks the paper's convergence guarantees:
+// network and hands the run to the invariant checker (internal/check),
+// which verifies the paper's convergence guarantees:
 //
 //   - every surviving member of each light-weight group ends in the same
 //     view, containing exactly the surviving members;
 //   - all members agree on the group's heavy-weight mapping;
-//   - the naming service ends with at most one live mapping per group;
+//   - the naming service ends with at most one live mapping per group,
+//     and the servers agree on it;
 //   - view synchrony held at the LWG level throughout (processes that
 //     installed the same two consecutive views delivered the same
-//     messages in between).
+//     messages in between), no duplicates, and view genealogy stayed a
+//     strict partial order.
 //
-// Runs are deterministic per seed, so any failure replays exactly.
+// Runs are deterministic per seed, so any failure replays exactly:
+//
+//	go test ./internal/core -run 'TestChaosConvergence/seed=N$'
 func TestChaosConvergence(t *testing.T) {
-	seeds := int64(12)
-	if os.Getenv("PLWG_SOAK") != "" {
-		seeds = 100 // soak mode: PLWG_SOAK=1 go test -run TestChaos ./internal/core
+	seeds := *chaosSeeds
+	if *chaosSoak || os.Getenv("PLWG_SOAK") != "" {
+		seeds = 100 // soak mode: go test -run TestChaos ./internal/core -chaos.soak
 	}
 	for seed := int64(1); seed <= seeds; seed++ {
 		seed := seed
@@ -41,12 +56,41 @@ func TestChaosConvergence(t *testing.T) {
 func runChaos(t *testing.T, seed int64) {
 	t.Helper()
 	w := runChaosWorld(t, seed)
-	checkChaosInvariants(t, w)
+	vs := check.Run(chaosSnapshot(w))
+	if len(vs) > 0 {
+		t.Errorf("%d invariant violations:\n%s"+
+			"replay: go test ./internal/core -run 'TestChaosConvergence/seed=%d$'\n"+
+			"trace tail:\n%s",
+			len(vs), check.Summary(vs), seed, tail(w, 60))
+	}
 }
 
-// chaosMembers records, per LWG, the processes expected to be members at
-// the end of the schedule.
-var chaosLWGs = []ids.LWGID{"x", "y", "z"}
+// chaosSnapshot adapts the finished chaos world into the checker's World.
+func chaosSnapshot(w *cWorld) *check.World {
+	expected := make(map[ids.LWGID]ids.Members)
+	for l, set := range w.chaosMembers {
+		var ms []ids.ProcessID
+		for p := range set {
+			ms = append(ms, p)
+		}
+		expected[l] = ids.NewMembers(ms...)
+	}
+	procs := make(map[ids.ProcessID]check.Process, len(w.eps))
+	for p, ep := range w.eps {
+		procs[p] = ep
+	}
+	dbs := make(map[ids.ProcessID]*naming.DB, len(w.servers))
+	for p, srv := range w.servers {
+		dbs[p] = srv.DB()
+	}
+	return &check.World{
+		Events:   w.tracer.Events,
+		Procs:    procs,
+		Servers:  dbs,
+		Expected: expected,
+		Crashed:  w.chaosCrashed,
+	}
+}
 
 func runChaosWorld(t *testing.T, seed int64) *cWorld {
 	t.Helper()
@@ -149,108 +193,8 @@ func runChaosWorld(t *testing.T, seed int64) *cWorld {
 	w.nw.Heal()
 	w.run(30 * time.Second)
 	w.chaosMembers = memberOf
+	w.chaosCrashed = crashed
 	return w
-}
-
-func checkChaosInvariants(t *testing.T, w *cWorld) {
-	t.Helper()
-	memberOf := w.chaosMembers
-	for _, l := range chaosLWGs {
-		var members []ids.ProcessID
-		for p := range memberOf[l] {
-			members = append(members, p)
-		}
-		if len(members) == 0 {
-			continue
-		}
-		want := ids.NewMembers(members...)
-		ref, ok := w.eps[want[0]].LWGView(l)
-		if !ok {
-			t.Fatalf("%s: %v has no view\ntrace tail:\n%s", l, want[0], tail(w, 60))
-		}
-		refHwg, _ := w.eps[want[0]].Mapping(l)
-		if !ref.Members.Equal(want) {
-			t.Errorf("%s: view members %v, want %v\ntrace tail:\n%s",
-				l, ref.Members, want, tail(w, 60))
-		}
-		for _, p := range want[1:] {
-			v, ok := w.eps[p].LWGView(l)
-			if !ok || v.ID != ref.ID {
-				t.Errorf("%s: %v has view %v (ok=%v), want %v", l, p, v, ok, ref.ID)
-			}
-			if h, _ := w.eps[p].Mapping(l); h != refHwg {
-				t.Errorf("%s: %v mapped on %v, %v mapped on %v", l, p, h, want[0], refHwg)
-			}
-		}
-		for _, srv := range w.servers {
-			if live := srv.DB().Live(l); len(live) > 1 {
-				t.Errorf("%s: server %v has %d live mappings:\n%s",
-					l, srv.PID(), len(live), srv.DB().Dump())
-			}
-		}
-		checkLWGViewSynchrony(t, w, l)
-	}
-}
-
-// checkLWGViewSynchrony verifies the LWG-level virtual synchrony
-// property over the recorded upcall logs.
-func checkLWGViewSynchrony(t *testing.T, w *cWorld, lwg ids.LWGID) {
-	t.Helper()
-	type batchMap map[string][]string
-	per := make(map[ids.ProcessID]batchMap)
-	for pid, rec := range w.ups {
-		m := make(batchMap)
-		var cur ids.ViewID
-		var batch []string
-		for _, e := range rec.log[lwg] {
-			switch e.kind {
-			case "view":
-				if e.view.ID == cur {
-					continue
-				}
-				if !cur.IsZero() {
-					key := cur.String() + "->" + e.view.ID.String()
-					m[key] = append([]string{}, batch...)
-				}
-				batch = nil
-				cur = e.view.ID
-			case "data":
-				batch = append(batch, fmt.Sprintf("%v:%s", e.src, e.data))
-			}
-		}
-		per[pid] = m
-	}
-	for p, mp := range per {
-		for q, mq := range per {
-			if p >= q {
-				continue
-			}
-			for key, dp := range mp {
-				dq, ok := mq[key]
-				if !ok {
-					continue
-				}
-				if len(dp) != len(dq) {
-					t.Errorf("%s view synchrony violated %s: %v delivered %d, %v delivered %d",
-						lwg, key, p, len(dp), q, len(dq))
-					continue
-				}
-				diff := make(map[string]int)
-				for _, d := range dp {
-					diff[d]++
-				}
-				for _, d := range dq {
-					diff[d]--
-				}
-				for d, n := range diff {
-					if n != 0 {
-						t.Errorf("%s view synchrony violated %s: %q differs between %v and %v",
-							lwg, key, d, p, q)
-					}
-				}
-			}
-		}
-	}
 }
 
 func tail(w *cWorld, n int) string {

@@ -382,6 +382,15 @@ func (e *Endpoint) trace(what, format string, args ...any) {
 	})
 }
 
+// traceEvent emits a structured event (for the invariant checker); the
+// caller fills the payload fields, this stamps time, node and layer.
+func (e *Endpoint) traceEvent(ev trace.Event) {
+	ev.At = e.clock.Now()
+	ev.Node = e.pid
+	ev.Layer = "lwg"
+	e.tracer.Trace(ev)
+}
+
 // hwgUpcalls adapts Endpoint to vsync.Upcalls without exporting the
 // methods on Endpoint itself.
 type hwgUpcalls Endpoint

@@ -54,9 +54,11 @@ type cWorld struct {
 	ups     map[ids.ProcessID]*cRec
 	servers map[ids.ProcessID]*naming.Server
 	tracer  *trace.Recorder
-	// chaosMembers carries the expected end-state membership out of the
-	// chaos schedule (chaos_test.go).
+	// chaosMembers and chaosCrashed carry the expected end-state
+	// membership and the crash set out of the chaos schedule
+	// (chaos_test.go).
 	chaosMembers map[ids.LWGID]map[ids.ProcessID]bool
+	chaosCrashed map[ids.ProcessID]bool
 }
 
 func newCWorld(t *testing.T, n int, serverPids []ids.ProcessID, cfg Config) *cWorld {

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"fmt"
+
 	"plwg/internal/ids"
 	"plwg/internal/naming"
 	"plwg/internal/policy"
 	"plwg/internal/sim"
+	"plwg/internal/trace"
 )
 
 // lwgState is the per-LWG protocol state of a member process.
@@ -163,6 +166,14 @@ func (m *lwgMember) send(data []byte) {
 		m.pendingSends = append(m.pendingSends, data)
 		return
 	}
+	m.e.traceEvent(trace.Event{
+		What:  trace.LWGSend,
+		Text:  fmt.Sprintf("%s: %q in %v", m.id, data, m.view.ID),
+		Group: string(m.id),
+		View:  m.view.ID,
+		Src:   m.e.pid,
+		Data:  string(data),
+	})
 	_ = m.e.hwg.Send(m.hwg, &lwgData{LWG: m.id, View: m.view.ID, Data: data})
 }
 
@@ -473,13 +484,16 @@ func (m *lwgMember) armLwgFlushTimer() {
 }
 
 func (m *lwgMember) abortLwgFlush() {
-	if m.fl == nil {
-		return
+	if m.fl != nil {
+		if m.fl.timer != nil {
+			m.fl.timer.Stop()
+		}
+		m.fl = nil
 	}
-	if m.fl.timer != nil {
-		m.fl.timer.Stop()
-	}
-	m.fl = nil
+	// Reset lwgStopped even without a local round: a member (or a
+	// coordinator re-stopped by its own stale lwgStop echo) can be
+	// quiesced by a round that died elsewhere, and nothing but this
+	// abort will ever release it.
 	if m.state == lwgStopped {
 		m.state = lwgActive
 		m.drainSends()
@@ -512,6 +526,11 @@ func (m *lwgMember) lwgFlushComplete() bool {
 
 func (m *lwgMember) onStop(msg *lwgStop) {
 	if msg.View != m.view.ID {
+		return
+	}
+	// A stop echoed back for a round this coordinator already aborted
+	// must not re-quiesce the view: no completion will ever release it.
+	if m.fl == nil && m.isCoordinator() && m.state == lwgActive {
 		return
 	}
 	if m.state == lwgActive {
@@ -548,6 +567,14 @@ func (m *lwgMember) requestLeave() {
 		m.maybeLwgReconfig()
 		return
 	}
+	m.armLeaveTicker()
+}
+
+// armLeaveTicker announces this process's leave intent to the coordinator
+// and keeps re-announcing until the removal view installs and drops the
+// LWG (which stops all tickers).
+func (m *lwgMember) armLeaveTicker() {
+	e := m.e
 	send := func() {
 		if m.e.lwgs[m.id] == m {
 			_ = e.hwg.Send(m.hwg, &lwgLeaveReq{LWG: m.id, From: e.pid})
@@ -649,7 +676,14 @@ func (m *lwgMember) installView(rec viewRecord, hwg ids.HWGID) {
 		}
 	}
 
-	e.trace("lwg-view", "%s: %v%s on %v", m.id, rec.View.ID, rec.View.Members, hwg)
+	e.traceEvent(trace.Event{
+		What:    trace.LWGViewInstall,
+		Text:    fmt.Sprintf("%s: %v%s on %v", m.id, rec.View.ID, rec.View.Members, hwg),
+		Group:   string(m.id),
+		View:    rec.View.ID,
+		Members: rec.View.Members.Clone(),
+		Parents: append(ids.ViewIDs{}, rec.Ancestors...),
+	})
 	if m.isCoordinator() {
 		e.updateMapping(m)
 	}
@@ -660,6 +694,13 @@ func (m *lwgMember) installView(rec viewRecord, hwg ids.HWGID) {
 	// Serve joins and leaves that queued up during the change.
 	if m.isCoordinator() && (len(m.pendingJoiners) > 0 || len(m.pendingLeavers) > 0 || m.leaveRequested) {
 		m.maybeLwgReconfig()
+	} else if m.leaveRequested && !m.isCoordinator() && m.leaveTicker == nil {
+		// A leaving coordinator handles its own exit through a reconfig
+		// flush — but a merge can install a view led by someone else
+		// before that flush completes, and then nobody knows this
+		// process still wants out. Announce the intent to the new
+		// coordinator like any other leaver would.
+		m.armLeaveTicker()
 	}
 }
 

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"plwg/internal/ids"
 	"plwg/internal/naming"
 	"plwg/internal/netsim"
+	"plwg/internal/trace"
 	"plwg/internal/vsync"
 )
 
@@ -146,6 +148,14 @@ func (e *Endpoint) onLwgData(st *hwgState, src ids.ProcessID, msg *lwgData) {
 	switch {
 	case msg.View == m.view.ID:
 		// Figure 5 line 104: the message was sent in our view.
+		e.traceEvent(trace.Event{
+			What:  trace.LWGDeliver,
+			Text:  fmt.Sprintf("%s: %q from %v in %v", msg.LWG, msg.Data, src, msg.View),
+			Group: string(msg.LWG),
+			View:  msg.View,
+			Src:   src,
+			Data:  string(msg.Data),
+		})
 		if e.up != nil {
 			e.up.Data(msg.LWG, src, msg.Data)
 		}
@@ -213,6 +223,32 @@ func (e *Endpoint) onLwgView(st *hwgState, msg *lwgView) {
 		m.installView(rec, st.gid)
 		return
 	}
+	// Straggling switcher: the group re-bound and reconfigured past our
+	// view before we reported ready (e.g. the binding was multicast in a
+	// concurrent partition of the target HWG).
+	if m.state == lwgSwitching && msg.HWG == st.gid && m.switchTarget == st.gid &&
+		rec.Ancestors.Contains(m.view.ID) {
+		e.recordKnown(st, rec)
+		if rec.View.Contains(e.pid) {
+			e.trace("switch", "%s: re-bound to %v (caught up to %v)", rec.LWG, st.gid, rec.View.ID)
+			m.installView(rec, st.gid)
+			return
+		}
+		// Merged away without us: land on the target as a singleton;
+		// merge-views folds us back in.
+		e.trace("switch", "%s: superseded mid-switch, landing on %v as singleton", rec.LWG, st.gid)
+		single := viewRecord{
+			LWG: rec.LWG,
+			View: ids.View{
+				ID:      trimmedViewID(rec.LWG, m.view.ID, st.view.ID, e.pid),
+				Members: ids.NewMembers(e.pid),
+			},
+			Ancestors: append(append(ids.ViewIDs{}, m.ancestors...), m.view.ID),
+		}
+		m.installView(single, st.gid)
+		e.triggerMergeViews(st)
+		return
+	}
 	if m.hwg != st.gid {
 		e.recordKnown(st, rec)
 		return
@@ -236,7 +272,7 @@ func (e *Endpoint) onViewRecord(st *hwgState, rec viewRecord) {
 	case rec.Ancestors.Contains(m.view.ID):
 		// A successor of our view exists.
 		if rec.View.Contains(e.pid) {
-			e.trace("lwg-view", "%s: catching up to %v", rec.LWG, rec.View.ID)
+			e.trace("lwg-catchup", "%s: catching up to %v", rec.LWG, rec.View.ID)
 			m.installView(rec, st.gid)
 		} else if m.leaveRequested {
 			e.dropLwg(rec.LWG)
@@ -544,6 +580,15 @@ func (m *lwgMember) beginSwitchMember(target ids.HWGID) {
 	}
 	attempts := 0
 	m.switchTicker = e.clock.Every(e.cfg.SwitchRetryInterval, func() {
+		// A shrink-rule leave of the target that was in flight when the
+		// switch instruction arrived makes the IsMember check above pass
+		// and then drops this process off the target once the leave
+		// completes; without re-joining, readiness can never be reported.
+		if m.state == lwgSwitching && m.switchTarget == target &&
+			!e.hwg.IsMember(target) {
+			e.hwgState(target)
+			_ = e.hwg.Join(target)
+		}
 		m.sendSwitchReady()
 		attempts++
 		if m.sw != nil && attempts >= 4 && !m.sw.sent {
@@ -571,15 +616,22 @@ func (m *lwgMember) sendSwitchReady() {
 // HWG) and answers stragglers after the switch completed.
 func (e *Endpoint) onSwitchReady(st *hwgState, msg *lwgSwitchReady) {
 	m := e.lwgs[msg.LWG]
-	if m == nil || m.view.ID != msg.View {
+	if m == nil {
 		return
 	}
-	if m.hwg == st.gid && m.state == lwgActive && m.isCoordinator() {
-		// Already switched: repeat the binding for the straggler.
+	if m.hwg == st.gid && m.state == lwgActive && m.isCoordinator() &&
+		(m.view.ID == msg.View || m.ancestors.Contains(msg.View)) {
+		// Already switched (and possibly reconfigured past the
+		// straggler's view since): repeat the current binding. The
+		// straggler re-binds or, if merged away, lands in a singleton
+		// that merge-views folds back in.
 		_ = e.hwg.Send(st.gid, &lwgView{
 			Rec: viewRecord{LWG: m.id, View: m.view.Clone(), Ancestors: m.ancestors},
 			HWG: st.gid,
 		})
+		return
+	}
+	if m.view.ID != msg.View {
 		return
 	}
 	if m.sw == nil || m.sw.target != st.gid {

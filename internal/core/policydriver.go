@@ -115,10 +115,16 @@ func (e *Endpoint) applyShrinkRule() {
 }
 
 // hwgInUse reports whether any local LWG is bound to, joining, or
-// switching onto the HWG (such HWGs must not be shrunk away).
+// switching onto the HWG (such HWGs must not be shrunk away). A switch
+// whose pre-switch flush is still in flight (m.sw set, switchTarget not
+// yet) counts: shrinking the target out from under it would orphan the
+// LWG mid-switch.
 func (e *Endpoint) hwgInUse(gid ids.HWGID) bool {
 	for _, m := range e.lwgs {
 		if m.hwg == gid || m.switchTarget == gid {
+			return true
+		}
+		if m.sw != nil && m.sw.target == gid {
 			return true
 		}
 	}

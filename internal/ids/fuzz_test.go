@@ -53,6 +53,112 @@ func FuzzMembersOps(f *testing.F) {
 	})
 }
 
+// FuzzGenealogy decodes bytes into a DAG-constrained sequence of Record
+// calls (parents only ever reference previously recorded views, as the
+// protocols guarantee by construction) and checks that ancestry stays a
+// strict partial order, that the transitive closure is independent of the
+// order history is learned in, and that Merge/Forget preserve answers.
+func FuzzGenealogy(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 2, 0, 1})
+	f.Add([]byte{0, 0, 2, 0, 1, 3, 0, 1, 2})
+	f.Add([]byte{0, 1, 0, 1, 1, 1, 2, 1, 3, 1, 4})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		type rec struct {
+			v       ViewID
+			parents ViewIDs
+		}
+		var script []rec
+		var known ViewIDs
+		for i := 0; i < len(raw) && len(script) < 24; {
+			np := int(raw[i]) % 4
+			i++
+			var parents ViewIDs
+			for j := 0; j < np && i < len(raw); j++ {
+				if len(known) > 0 {
+					parents = append(parents, known[int(raw[i])%len(known)])
+				}
+				i++
+			}
+			v := ViewID{Coord: ProcessID(len(script) % 5), Seq: uint64(len(script)/5 + 1)}
+			script = append(script, rec{v: v, parents: parents})
+			known = append(known, v)
+		}
+		if len(script) == 0 {
+			return
+		}
+
+		g := NewGenealogy()
+		for _, r := range script {
+			g.Record(r.v, r.parents)
+		}
+
+		// Strict partial order: irreflexive, antisymmetric, transitive.
+		for _, a := range known {
+			if g.IsAncestor(a, a) {
+				t.Fatalf("%v is its own ancestor", a)
+			}
+			for _, b := range known {
+				if a != b && g.IsAncestor(a, b) && g.IsAncestor(b, a) {
+					t.Fatalf("ancestry cycle between %v and %v", a, b)
+				}
+				for _, c := range known {
+					if g.IsAncestor(a, b) && g.IsAncestor(b, c) && !g.IsAncestor(a, c) {
+						t.Fatalf("transitivity violated: %v < %v < %v", a, b, c)
+					}
+				}
+			}
+		}
+		// Every declared parent is an ancestor, and Concurrent is
+		// symmetric and consistent with IsAncestor.
+		for _, r := range script {
+			for _, p := range r.parents {
+				if p != r.v && !g.IsAncestor(p, r.v) {
+					t.Fatalf("parent %v not ancestor of %v", p, r.v)
+				}
+			}
+		}
+		for _, a := range known {
+			for _, b := range known {
+				want := a != b && !g.IsAncestor(a, b) && !g.IsAncestor(b, a)
+				if g.Concurrent(a, b) != want || g.Concurrent(a, b) != g.Concurrent(b, a) {
+					t.Fatalf("Concurrent(%v,%v) inconsistent", a, b)
+				}
+			}
+		}
+
+		// Order independence: replaying the script in reverse (replicas
+		// learn history in arbitrary order) yields the same closure.
+		rev := NewGenealogy()
+		for i := len(script) - 1; i >= 0; i-- {
+			rev.Record(script[i].v, script[i].parents)
+		}
+		for _, a := range known {
+			for _, b := range known {
+				if g.IsAncestor(a, b) != rev.IsAncestor(a, b) {
+					t.Fatalf("closure depends on arrival order at (%v,%v)", a, b)
+				}
+			}
+		}
+
+		// Merge into an empty genealogy reproduces the answers; Forget of
+		// an intermediate node keeps descendants' ancestor sets intact.
+		merged := NewGenealogy()
+		merged.Merge(g)
+		mid := known[len(known)/2]
+		g.Forget(mid)
+		for _, a := range known {
+			for _, b := range known {
+				if b == mid {
+					continue
+				}
+				if g.IsAncestor(a, b) != merged.IsAncestor(a, b) {
+					t.Fatalf("Forget(%v) changed answer at (%v,%v)", mid, a, b)
+				}
+			}
+		}
+	})
+}
+
 func decodeMembers(raw []byte) Members {
 	ps := make([]ProcessID, 0, len(raw))
 	for _, b := range raw {

@@ -245,7 +245,14 @@ func (s *Server) notify(lwg ids.LWGID, live []Entry) {
 		coords = append(coords, coord)
 	}
 	coords = ids.NewMembers(coords...) // deterministic emission order
-	s.trace("multiple-mappings", "%s has %d conflicting mappings", lwg, len(live))
+	s.tracer.Trace(trace.Event{
+		At:    s.clock.Now(),
+		Node:  s.pid,
+		Layer: "ns",
+		What:  "multiple-mappings",
+		Text:  fmt.Sprintf("%s has %d conflicting mappings", lwg, len(live)),
+		Group: string(lwg),
+	})
 	for _, coord := range coords {
 		s.net.Unicast(s.pid, coord, CallbackPrefix, &MsgMultipleMappings{
 			LWG:      lwg,

@@ -50,6 +50,37 @@ func TestMuxExactPrefixBoundaries(t *testing.T) {
 	}
 }
 
+// TestMuxEdgeCases drives the mux handler directly (no network) through
+// the address-shape corner cases.
+func TestMuxEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		addr Addr
+		want string // handler that must fire; "" means dropped
+	}{
+		{"bare prefix", "hwg", "hwg"},
+		{"prefix with rest", "hwg/17", "hwg"},
+		{"rest with nested separators", "ns/a/b", "ns"},
+		{"longer address is not a prefix match", "hwgx", ""},
+		{"empty address", "", ""},
+		{"unregistered prefix", "other/1", ""},
+		{"bare separator", "/", ""},
+		{"empty prefix with rest", "/17", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mux := NewMux()
+			got := ""
+			mux.Handle("hwg", func(NodeID, Addr, Message) { got = "hwg" })
+			mux.Handle("ns", func(NodeID, Addr, Message) { got = "ns" })
+			mux.Handler()(0, tc.addr, RawMessage{Bytes: 1})
+			if got != tc.want {
+				t.Errorf("addr %q dispatched to %q, want %q", tc.addr, got, tc.want)
+			}
+		})
+	}
+}
+
 func TestPointToPointModeParallelism(t *testing.T) {
 	// Two senders transmitting simultaneously: on the shared bus their
 	// frames serialize; on point-to-point links they arrive in parallel.

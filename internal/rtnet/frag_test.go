@@ -63,6 +63,67 @@ func TestFragmentOutOfOrderAndDuplicates(t *testing.T) {
 	}
 }
 
+// TestFragmentReassemblyAdversity replays one fragmented message through
+// the delivery patterns a lossy, reordering, duplicating network can
+// produce and checks reassembly completes exactly when every chunk was
+// seen at least once.
+func TestFragmentReassemblyAdversity(t *testing.T) {
+	data := make([]byte, 4*fragPayload+123)
+	rand.New(rand.NewSource(3)).Read(data)
+	chunks := fragment(9, data)
+	n := len(chunks) // 5
+
+	seq := func(idx ...int) [][]byte {
+		out := make([][]byte, 0, len(idx))
+		for _, i := range idx {
+			out = append(out, chunks[i])
+		}
+		return out
+	}
+	shuffled := func(seed int64) [][]byte {
+		idx := rand.New(rand.NewSource(seed)).Perm(n)
+		return seq(idx...)
+	}
+
+	cases := []struct {
+		name     string
+		deliver  [][]byte
+		complete bool
+	}{
+		{"in order", seq(0, 1, 2, 3, 4), true},
+		{"reversed", seq(4, 3, 2, 1, 0), true},
+		{"random order", shuffled(11), true},
+		{"every chunk duplicated", seq(0, 0, 1, 1, 2, 2, 3, 3, 4, 4), true},
+		{"duplicates interleaved out of order", seq(2, 4, 2, 0, 1, 4, 3), true},
+		{"loss of one chunk", seq(0, 1, 3, 4), false},
+		{"loss of all but one", seq(2), false},
+		{"loss then full retransmit", seq(0, 1, 3, 4, 0, 1, 2, 3, 4), true},
+		{"stale duplicates after completion", append(seq(0, 1, 2, 3, 4), seq(1, 3)...), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			re := newReassembler()
+			var got []byte
+			for _, d := range tc.deliver {
+				if out, err := re.add("peer", d); err != nil {
+					t.Fatalf("add: %v", err)
+				} else if out != nil {
+					got = out
+				}
+			}
+			if !tc.complete {
+				if got != nil {
+					t.Fatal("reassembly completed despite loss")
+				}
+				return
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("reassembly mismatch (%d vs %d bytes)", len(got), len(data))
+			}
+		})
+	}
+}
+
 func TestFragmentInterleavedSenders(t *testing.T) {
 	a := bytes.Repeat([]byte{0xAA}, 2*fragPayload)
 	b := bytes.Repeat([]byte{0xBB}, 2*fragPayload)

@@ -227,6 +227,30 @@ func (s *Sim) RunFor(d time.Duration) {
 	s.RunUntil(s.now.Add(d))
 }
 
+// RunForCapped advances the simulation by d of virtual time, but executes
+// at most maxSteps events. It reports whether the full interval completed
+// within the budget. Schedule explorers use it as a livelock guard: a
+// protocol bug that floods the event queue would otherwise hang a sweep
+// instead of failing it.
+func (s *Sim) RunForCapped(d time.Duration, maxSteps uint64) bool {
+	deadline := s.now.Add(d)
+	budget := s.steps + maxSteps
+	for len(s.queue) > 0 && s.steps < budget {
+		next := s.peek()
+		if next == nil || next.at > deadline {
+			break
+		}
+		s.step()
+	}
+	if next := s.peek(); next != nil && next.at <= deadline {
+		return false // budget exhausted with work still due
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return true
+}
+
 // RunWhile executes events while cond returns true and the queue is
 // non-empty. It is useful for "run until the system converges" loops with a
 // safety horizon.

@@ -11,13 +11,52 @@ import (
 	"plwg/internal/sim"
 )
 
+// Canonical What values for the structured events consumed by the
+// invariant checker (internal/check). Other events are free-form.
+const (
+	// LWGViewInstall marks a light-weight group view installation. The
+	// event carries Group, View, Members and Parents.
+	LWGViewInstall = "lwg-view"
+	// LWGDeliver marks a Data upcall to the LWG user. The event carries
+	// Group, View (the view the message was delivered in), Src and Data.
+	LWGDeliver = "lwg-deliver"
+	// LWGSend marks an actual LWG multicast emission (after any
+	// buffering), stamped with the view it was sent in. The event carries
+	// Group, View, Src (the sender itself) and Data.
+	LWGSend = "lwg-send"
+	// HWGViewInstall marks a heavy-weight group view installation. The
+	// event carries Group, View and Members.
+	HWGViewInstall = "view-install"
+)
+
 // Event is one traced protocol event.
+//
+// At/Node/Layer/What/Text describe the event for humans. The remaining
+// fields are optional structured payload filled in by the protocol layers
+// for the canonical What values above, so that checkers can verify safety
+// properties without parsing log text.
 type Event struct {
 	At    sim.Time
 	Node  ids.ProcessID
 	Layer string // "vsync", "lwg", "ns"
 	What  string // e.g. "view-install", "merge-views", "switch"
 	Text  string
+
+	// Group names the group the event concerns: the LWG name, or the
+	// HWGID rendering for vsync-level events.
+	Group string
+	// View is the view identifier the event concerns (installed view,
+	// or the view a message was sent/delivered in).
+	View ids.ViewID
+	// Members is the membership of an installed view.
+	Members ids.Members
+	// Parents is the ancestor set declared for an installed view (the
+	// genealogy edge set; may be the full transitive ancestor set).
+	Parents ids.ViewIDs
+	// Src is the originator of a delivered or sent message.
+	Src ids.ProcessID
+	// Data is the (stringified) payload of a sent/delivered message.
+	Data string
 }
 
 // String renders the event as a single log line.

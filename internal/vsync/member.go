@@ -1,11 +1,13 @@
 package vsync
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
 	"plwg/internal/ids"
 	"plwg/internal/sim"
+	"plwg/internal/trace"
 )
 
 // memberState is the per-group protocol state of a process.
@@ -637,6 +639,16 @@ func (m *member) onPresence(from ids.ProcessID, p *msgPresence) {
 	if w.Contains(m.st.pid) {
 		return // stale presence of a view this process has since left
 	}
+	// Concurrent views never share members, so a fresh announcement of w
+	// proves any known view overlapping it is stale. Purging here matters:
+	// a stale superset (e.g. one still listing a crashed process) would
+	// otherwise both swallow w in mergePeers' subset hygiene and defer
+	// merge initiation to a coordinator that no longer exists.
+	for vid, kw := range m.knownPeers {
+		if vid != w.ID && len(kw.Members.Intersect(w.Members)) > 0 {
+			delete(m.knownPeers, vid)
+		}
+	}
 	if _, seen := m.knownPeers[w.ID]; !seen {
 		m.st.trace(m.gid, "discover", "concurrent view %v", w)
 	}
@@ -763,7 +775,13 @@ func (m *member) install(v ids.View) {
 	if v.ID.Coord == m.st.pid {
 		m.st.observeViewSeq(m.gid, v.ID.Seq)
 	}
-	m.st.trace(m.gid, "view-install", "%v%s", v.ID, v.Members)
+	m.st.traceEvent(trace.Event{
+		What:    trace.HWGViewInstall,
+		Text:    fmt.Sprintf("%v: %v%s", m.gid, v.ID, v.Members),
+		Group:   m.gid.String(),
+		View:    v.ID,
+		Members: v.Members.Clone(),
+	})
 	m.startTimers()
 
 	if m.st.up != nil {

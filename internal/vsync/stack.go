@@ -302,6 +302,15 @@ func (s *Stack) trace(gid ids.HWGID, what, format string, args ...any) {
 	})
 }
 
+// traceEvent emits a structured event (for the invariant checker); the
+// caller fills the payload fields, this stamps time, node and layer.
+func (s *Stack) traceEvent(ev trace.Event) {
+	ev.At = s.clock.Now()
+	ev.Node = s.pid
+	ev.Layer = "vsync"
+	s.tracer.Trace(ev)
+}
+
 // dropMember removes all state for the group (after leave or exclusion).
 func (s *Stack) dropMember(gid ids.HWGID) {
 	m, ok := s.groups[gid]

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"plwg/internal/check"
 	"plwg/internal/ids"
 	"plwg/internal/netsim"
 	"plwg/internal/sim"
@@ -124,73 +125,27 @@ func (w *world) requireSameView(gid ids.HWGID, pids ...ids.ProcessID) ids.View {
 	return want
 }
 
-// dataBetween extracts, per consecutive pair of distinct views, the data
-// delivered between them, keyed by "<viewID>-><viewID>".
-func dataBetween(log []logEntry) map[string][]string {
-	out := make(map[string][]string)
-	var cur ids.ViewID
-	var batch []string
-	flushTo := func(next ids.ViewID) {
-		if !cur.IsZero() {
-			key := cur.String() + "->" + next.String()
-			out[key] = append([]string{}, batch...)
-		}
-		batch = nil
-	}
-	for _, e := range log {
-		switch e.kind {
-		case "view":
-			if e.view.ID == cur {
-				continue // re-announcement of the same view
-			}
-			flushTo(e.view.ID)
-			cur = e.view.ID
-		case "data":
-			batch = append(batch, fmt.Sprintf("%v:%s", e.src, e.pay))
-		}
-	}
-	return out
-}
-
 // checkViewSynchrony verifies the defining property: any two processes
 // that both install the same two consecutive views delivered the same
-// messages between them.
+// messages between them. The comparison itself lives in internal/check,
+// shared with the LWG-level chaos tests and the schedule explorer.
 func checkViewSynchrony(t *testing.T, w *world, gid ids.HWGID) {
 	t.Helper()
-	per := make(map[ids.ProcessID]map[string][]string)
+	logs := make(map[ids.ProcessID][]check.Record)
 	for pid, up := range w.ups {
-		per[pid] = dataBetween(up.log[gid])
-	}
-	for p, mp := range per {
-		for q, mq := range per {
-			if p >= q {
-				continue
-			}
-			for key, dp := range mp {
-				dq, ok := mq[key]
-				if !ok {
-					continue // q did not install both views
-				}
-				if len(dp) != len(dq) {
-					t.Errorf("view synchrony violated %s: %v delivered %d, %v delivered %d",
-						key, p, len(dp), q, len(dq))
-					continue
-				}
-				seen := make(map[string]int)
-				for _, d := range dp {
-					seen[d]++
-				}
-				for _, d := range dq {
-					seen[d]--
-				}
-				for d, n := range seen {
-					if n != 0 {
-						t.Errorf("view synchrony violated %s: message %q differs between %v and %v",
-							key, d, p, q)
-					}
-				}
+		var rec []check.Record
+		for _, e := range up.log[gid] {
+			switch e.kind {
+			case "view":
+				rec = append(rec, check.Install(e.view.ID))
+			case "data":
+				rec = append(rec, check.Deliver(e.src, e.pay))
 			}
 		}
+		logs[pid] = rec
+	}
+	for _, v := range check.Agreement(gid.String(), logs, nil) {
+		t.Errorf("view synchrony violated: %s", v)
 	}
 }
 
