@@ -8,6 +8,11 @@
 //
 //	lwgbench -experiment fig2-latency|fig2-throughput|fig2-recovery|all
 //	         [-ns 1,2,4,8,16,32] [-seed 1] [-measure 5s]
+//	         [-json BENCH_plwg.json]
+//
+// With -json, the full sweep plus the codec microbenchmarks run and the
+// results are written as a flat machine-readable record list, the
+// committed perf baseline future PRs diff against.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"time"
 
 	"plwg/internal/bench"
+	"plwg/internal/vsync"
 )
 
 func main() {
@@ -35,6 +41,7 @@ func run(args []string, out *os.File) error {
 	nsFlag := fs.String("ns", "1,2,4,8,16,32", "comma-separated groups-per-set sweep")
 	seed := fs.Int64("seed", 1, "simulation seed (runs are deterministic per seed)")
 	measure := fs.Duration("measure", 5*time.Second, "virtual measurement window")
+	jsonPath := fs.String("json", "", "write machine-readable results to this file and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,6 +51,10 @@ func run(args []string, out *os.File) error {
 	}
 	d := bench.DefaultDurations()
 	d.Measure = *measure
+
+	if *jsonPath != "" {
+		return writeJSON(*jsonPath, ns, *seed, d, out)
+	}
 
 	fmt.Fprintf(out, "plwg evaluation — %d-node simulated 10 Mbps shared Ethernet, seed %d\n",
 		8, *seed)
@@ -66,6 +77,31 @@ func run(args []string, out *os.File) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
+	return nil
+}
+
+// writeJSON runs the Figure 2 sweep plus the codec microbenchmarks and
+// writes the flat record list (mode × metric × value).
+func writeJSON(path string, ns []int, seed int64, d bench.Durations, out *os.File) error {
+	fmt.Fprintf(out, "writing %s (sweep %v, seed %d, measure %v)\n", path, ns, seed, d.Measure)
+	recs := bench.Figure2Records(out, ns, seed, d)
+	fmt.Fprintln(out, "  codec microbenchmarks...")
+	for _, s := range vsync.CodecBenchStats() {
+		parts := strings.SplitN(s.Name, "-", 2) // "encode-wire" -> op, codec
+		recs = append(recs,
+			bench.Record{Experiment: "codec-" + parts[0], Mode: parts[1], Metric: "ns_per_op", Value: s.NsPerOp},
+			bench.Record{Experiment: "codec-" + parts[0], Mode: parts[1], Metric: "allocs_per_op", Value: s.AllocsPerOp})
+	}
+	rep := bench.Report{
+		GeneratedBy: "go run ./cmd/lwgbench -json " + path,
+		Seed:        seed,
+		MeasureSecs: d.Measure.Seconds(),
+		Records:     recs,
+	}
+	if err := bench.WriteReport(path, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %d records\n", len(recs))
 	return nil
 }
 

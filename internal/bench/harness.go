@@ -120,6 +120,8 @@ type Options struct {
 	Ordering vsync.OrderingMode
 	// Net overrides the network model.
 	Net *netsim.Params
+	// DisableBatching turns off LWG message packing (A/B runs).
+	DisableBatching bool
 }
 
 // NewHarness builds the configuration over the topology. Call Setup to
@@ -220,6 +222,7 @@ func (h *Harness) buildLWG(static bool) {
 	h.eps = make(map[ids.ProcessID]*core.Endpoint)
 	serverPids := []ids.ProcessID{0}
 	svcCfg := core.DefaultConfig()
+	svcCfg.DisableBatching = h.opts.DisableBatching
 	if static {
 		svcCfg.PolicyInterval = 24 * time.Hour // mapping is frozen
 	} else {

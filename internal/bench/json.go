@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Record is one machine-readable benchmark datum: a (experiment, mode,
+// n, metric) cell of the Figure 2 sweeps, or a codec microbenchmark
+// number. BENCH_plwg.json is a flat list of these so downstream tooling
+// can diff perf trajectories across PRs without parsing tables.
+type Record struct {
+	Experiment string  `json:"experiment"`
+	Mode       string  `json:"mode"`
+	N          int     `json:"n,omitempty"`
+	Metric     string  `json:"metric"`
+	Value      float64 `json:"value"`
+}
+
+// Report is the top-level BENCH_plwg.json document.
+type Report struct {
+	GeneratedBy string   `json:"generated_by"`
+	Seed        int64    `json:"seed"`
+	MeasureSecs float64  `json:"measure_secs"`
+	Records     []Record `json:"records"`
+}
+
+// Figure2Records runs the three Figure 2 experiments over the sweep and
+// collects every metric as a flat record list.
+func Figure2Records(w io.Writer, ns []int, seed int64, d Durations) []Record {
+	var recs []Record
+	for _, n := range ns {
+		for _, m := range Modes {
+			fmt.Fprintf(w, "  fig2 n=%d %s...\n", n, m)
+			if r := RunLatency(m, n, seed, d); r.Converged {
+				recs = append(recs,
+					Record{"fig2-latency", m.String(), n, "mean_ms", r.MeanMs},
+					Record{"fig2-latency", m.String(), n, "p99_ms", r.P99Ms})
+			}
+			if r := RunThroughput(m, n, seed, d); r.Converged {
+				recs = append(recs,
+					Record{"fig2-throughput", m.String(), n, "total_kbps", r.TotalKBps},
+					Record{"fig2-throughput", m.String(), n, "msgs_per_sec", r.MsgsPerSec})
+			}
+			if r := RunRecovery(m, n, seed, d); r.Converged {
+				recs = append(recs,
+					Record{"fig2-recovery", m.String(), n, "max_ms", r.MaxMs},
+					Record{"fig2-recovery", m.String(), n, "unrelated_probe_max_ms", r.UnrelatedProbeMaxMs})
+			}
+		}
+	}
+	return recs
+}
+
+// WriteReport writes the report as indented JSON to path.
+func WriteReport(path string, rep Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSendPath drives the Figure 2 closed-loop throughput workload
+// through the dynamic configuration with LWG message packing on and
+// off. The msgs/s metric is the A/B signal; allocs are reported because
+// the simulated hot path should not regress allocation-wise either.
+func BenchmarkSendPath(b *testing.B) {
+	d := Durations{SetupMax: 120 * time.Second, Measure: 2 * time.Second}
+	for _, cfg := range []struct {
+		name            string
+		disableBatching bool
+	}{
+		{"batched", false},
+		{"unbatched", true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var last ThroughputResult
+			for i := 0; i < b.N; i++ {
+				last = RunThroughputWith(DynamicLWG, 8, int64(i+1), d,
+					Options{DisableBatching: cfg.disableBatching})
+				if !last.Converged {
+					b.Fatal("run did not converge")
+				}
+			}
+			b.ReportMetric(last.MsgsPerSec, "msgs/s")
+			b.ReportMetric(last.TotalKBps, "KB/s")
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"plwg/internal/ids"
+	"plwg/internal/wire"
+)
+
+// Binary-codec support (internal/wire) for the data-path payloads:
+// lwgData and lwgBatch dominate traffic, so they bypass gob on the real
+// transport. The LWG control messages (join, stop, view, merge) are
+// rare and stay on the gob fallback. Identifiers 16–31 are reserved
+// for this package.
+
+const (
+	wireLwgData byte = iota + 16
+	wireLwgBatch
+)
+
+// WireID implements wire.Marshaler.
+func (m *lwgData) WireID() byte { return wireLwgData }
+
+// MarshalWire implements wire.Marshaler.
+func (m *lwgData) MarshalWire(b *wire.Buffer) bool {
+	b.String(string(m.LWG))
+	b.Int64(int64(m.View.Coord))
+	b.Uint64(m.View.Seq)
+	b.Bytes(m.Data)
+	return true
+}
+
+// WireID implements wire.Marshaler.
+func (m *lwgBatch) WireID() byte { return wireLwgBatch }
+
+// MarshalWire implements wire.Marshaler.
+func (m *lwgBatch) MarshalWire(b *wire.Buffer) bool {
+	b.Uint64(uint64(len(m.Msgs)))
+	for _, d := range m.Msgs {
+		if !d.MarshalWire(b) {
+			return false
+		}
+	}
+	return true
+}
+
+func decodeLwgData(r *wire.Reader) *lwgData {
+	m := &lwgData{LWG: ids.LWGID(r.String())}
+	m.View = ids.ViewID{Coord: ids.ProcessID(r.Int64()), Seq: r.Uint64()}
+	// Copy out of the datagram so the payload does not pin (or alias)
+	// the receive buffer.
+	if raw := r.Bytes(); len(raw) > 0 {
+		m.Data = append([]byte(nil), raw...)
+	}
+	return m
+}
+
+func registerCodecs() {
+	wire.Register(wireLwgData, func(r *wire.Reader) (wire.Marshaler, error) {
+		return decodeLwgData(r), r.Err()
+	})
+	wire.Register(wireLwgBatch, func(r *wire.Reader) (wire.Marshaler, error) {
+		n := r.Uint64()
+		const maxMsgs = 1 << 16 // sanity bound against corrupt input
+		if n > maxMsgs {
+			return nil, fmt.Errorf("core: lwgBatch of %d messages exceeds sanity bound", n)
+		}
+		m := &lwgBatch{Msgs: make([]*lwgData, 0, n)}
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			m.Msgs = append(m.Msgs, decodeLwgData(r))
+		}
+		return m, r.Err()
+	})
+}

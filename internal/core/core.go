@@ -99,6 +99,18 @@ type Config struct {
 	// refreshes its mapping lease in the naming service. Must be well
 	// below naming.Config.MappingTTL.
 	MappingRefreshInterval time.Duration
+	// MaxBatchBytes flushes the per-HWG send batch once the packed
+	// payloads reach this size. Sends from all LWGs mapped on the same
+	// HWG coalesce into one multicast, amortizing per-frame overhead
+	// and per-receiver processing cost across the batch.
+	MaxBatchBytes int
+	// MaxBatchDelay bounds how long a packed payload may wait for
+	// companions before the batch is flushed — a fraction of the bus
+	// round-trip, so batching never dominates delivery latency.
+	MaxBatchDelay time.Duration
+	// DisableBatching reverts to one HWG multicast per LWG send (the
+	// A/B switch for the packing optimization).
+	DisableBatching bool
 }
 
 // DefaultConfig returns timers sized for the simulated testbed. The
@@ -115,6 +127,9 @@ func DefaultConfig() Config {
 		ShrinkAfter:         2 * time.Second,
 
 		MappingRefreshInterval: 15 * time.Second,
+
+		MaxBatchBytes: 8 * 1024,
+		MaxBatchDelay: 500 * time.Microsecond,
 	}
 }
 
@@ -143,6 +158,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MappingRefreshInterval <= 0 {
 		c.MappingRefreshInterval = d.MappingRefreshInterval
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = d.MaxBatchBytes
+	}
+	if c.MaxBatchDelay <= 0 {
+		c.MaxBatchDelay = d.MaxBatchDelay
 	}
 	return c
 }
@@ -207,6 +228,13 @@ type hwgState struct {
 	// emptySince records when the HWG last had no local LWGs (for the
 	// shrink rule); zero while it has some.
 	emptySince sim.Time
+
+	// batch packs outgoing lwgData from every local LWG mapped on this
+	// HWG into one multicast; flushed by size (Config.MaxBatchBytes),
+	// delay (Config.MaxBatchDelay), or any control-message send.
+	batch      []*lwgData
+	batchBytes int
+	batchTimer *sim.Timer
 }
 
 // New creates a light-weight group service endpoint and registers its
@@ -331,6 +359,12 @@ func (e *Endpoint) Stop() {
 	}
 	for _, m := range e.lwgs {
 		m.stopTimers()
+	}
+	for _, st := range e.hwgs {
+		if st.batchTimer != nil {
+			st.batchTimer.Stop()
+			st.batchTimer = nil
+		}
 	}
 }
 

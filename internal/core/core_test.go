@@ -10,6 +10,7 @@ import (
 	"plwg/internal/netsim"
 	"plwg/internal/sim"
 	"plwg/internal/trace"
+	"plwg/internal/vsync"
 )
 
 // cEntry is one upcall observed by a test process.
@@ -66,6 +67,10 @@ func newCWorld(t *testing.T, n int, serverPids []ids.ProcessID, cfg Config) *cWo
 }
 
 func newCWorldNS(t *testing.T, n int, serverPids []ids.ProcessID, cfg Config, nsCfg naming.Config) *cWorld {
+	return newCWorldVS(t, n, serverPids, cfg, nsCfg, vsync.Config{})
+}
+
+func newCWorldVS(t *testing.T, n int, serverPids []ids.ProcessID, cfg Config, nsCfg naming.Config, vsCfg vsync.Config) *cWorld {
 	t.Helper()
 	s := sim.New(3)
 	nw := netsim.New(s, netsim.DefaultParams())
@@ -85,6 +90,7 @@ func newCWorldNS(t *testing.T, n int, serverPids []ids.ProcessID, cfg Config, ns
 			PID:     pid,
 			Servers: serverPids,
 			Config:  cfg,
+			Vsync:   vsCfg,
 			Naming:  nsCfg,
 			Upcalls: rec,
 			Tracer:  w.tracer,

@@ -174,7 +174,12 @@ func (m *lwgMember) send(data []byte) {
 		Src:   m.e.pid,
 		Data:  string(data),
 	})
-	_ = m.e.hwg.Send(m.hwg, &lwgData{LWG: m.id, View: m.view.ID, Data: data})
+	msg := &lwgData{LWG: m.id, View: m.view.ID, Data: data}
+	if m.e.cfg.DisableBatching {
+		_ = m.e.hwg.Send(m.hwg, msg)
+		return
+	}
+	m.e.enqueueBatch(st, msg)
 }
 
 func (m *lwgMember) drainSends() {
@@ -300,7 +305,7 @@ func (m *lwgMember) sendJoinReq() {
 	if _, ok := m.e.hwg.CurrentView(m.hwg); !ok {
 		return // not yet a member of the HWG
 	}
-	_ = m.e.hwg.Send(m.hwg, &lwgJoinReq{LWG: m.id, From: m.e.pid})
+	m.e.hwgSend(m.hwg, &lwgJoinReq{LWG: m.id, From: m.e.pid})
 }
 
 // joinTimedOut fires when no LWG view admitted us: the mapping was stale
@@ -335,7 +340,7 @@ func (m *lwgMember) maybeFound() {
 	rec := viewRecord{LWG: m.id, View: m.proposedView, Ancestors: nil}
 	m.installView(rec, m.hwg)
 	// Tell the other HWG members (and any concurrent joiners).
-	_ = m.e.hwg.Send(m.hwg, &lwgView{Rec: rec, HWG: m.hwg})
+	m.e.hwgSend(m.hwg, &lwgView{Rec: rec, HWG: m.hwg})
 }
 
 // --- admission (coordinator side) ------------------------------------------
@@ -345,7 +350,7 @@ func (m *lwgMember) onJoinReq(from ids.ProcessID) {
 		// Already admitted; the joiner may have missed the view
 		// announcement — repeat it.
 		if m.isCoordinator() && m.state == lwgActive {
-			_ = m.e.hwg.Send(m.hwg, &lwgView{
+			m.e.hwgSend(m.hwg, &lwgView{
 				Rec: viewRecord{LWG: m.id, View: m.view.Clone(), Ancestors: m.ancestors},
 				HWG: m.hwg,
 			})
@@ -414,7 +419,7 @@ func (m *lwgMember) maybeLwgReconfig() {
 		if len(rec.View.Members) == 0 {
 			// Everyone left: dissolve the group.
 			m.e.deleteMapping(m.id, oldID)
-			_ = m.e.hwg.Send(m.hwg, &lwgView{Rec: rec, HWG: m.hwg})
+			m.e.hwgSend(m.hwg, &lwgView{Rec: rec, HWG: m.hwg})
 			return
 		}
 		nv := &lwgView{Rec: rec, HWG: m.hwg}
@@ -428,7 +433,7 @@ func (m *lwgMember) maybeLwgReconfig() {
 				}
 			}
 		}
-		_ = m.e.hwg.Send(m.hwg, nv)
+		m.e.hwgSend(m.hwg, nv)
 	})
 }
 
@@ -446,7 +451,7 @@ func (m *lwgMember) startLwgFlush(why string, onDone func()) {
 	}
 	e.trace("lwg-flush", "%s: %s expected=%s", m.id, why, expected)
 	m.state = lwgStopped
-	_ = e.hwg.Send(m.hwg, &lwgStop{LWG: m.id, View: m.view.ID})
+	e.hwgSend(m.hwg, &lwgStop{LWG: m.id, View: m.view.ID})
 	m.armLwgFlushTimer()
 }
 
@@ -478,7 +483,7 @@ func (m *lwgMember) armLwgFlushTimer() {
 		if m.lwgFlushComplete() {
 			return
 		}
-		_ = m.e.hwg.Send(m.hwg, &lwgStop{LWG: m.id, View: m.view.ID})
+		m.e.hwgSend(m.hwg, &lwgStop{LWG: m.id, View: m.view.ID})
 		m.armLwgFlushTimer()
 	})
 }
@@ -538,7 +543,7 @@ func (m *lwgMember) onStop(msg *lwgStop) {
 	}
 	// Answer (and re-answer duplicates) while quiesced.
 	if m.state == lwgStopped {
-		_ = m.e.hwg.Send(m.hwg, &lwgFlushOk{LWG: m.id, View: m.view.ID, From: m.e.pid})
+		m.e.hwgSend(m.hwg, &lwgFlushOk{LWG: m.id, View: m.view.ID, From: m.e.pid})
 	}
 }
 
@@ -577,7 +582,7 @@ func (m *lwgMember) armLeaveTicker() {
 	e := m.e
 	send := func() {
 		if m.e.lwgs[m.id] == m {
-			_ = e.hwg.Send(m.hwg, &lwgLeaveReq{LWG: m.id, From: e.pid})
+			e.hwgSend(m.hwg, &lwgLeaveReq{LWG: m.id, From: e.pid})
 		}
 	}
 	send()
@@ -607,6 +612,11 @@ func (e *Endpoint) dropLwg(lwg ids.LWGID) {
 		return
 	}
 	m.stopTimers()
+	// Batched data this member already sent must still reach the group
+	// (an unbatched send would have been multicast immediately).
+	if st := e.hwgs[m.hwg]; st != nil {
+		e.flushBatch(st)
+	}
 	if st := e.hwgs[m.hwg]; st != nil && st.local[lwg] {
 		delete(st.local, lwg)
 		if len(st.local) == 0 {
@@ -623,6 +633,12 @@ func (e *Endpoint) dropLwg(lwg ids.LWGID) {
 func (m *lwgMember) installView(rec viewRecord, hwg ids.HWGID) {
 	e := m.e
 	oldHwg := m.hwg
+	// Payloads still batched under the outgoing view would be multicast
+	// with an ancestor view tag and dropped everywhere; pull them back
+	// into the pending queue so drainSends re-stamps them below.
+	if ost := e.hwgs[oldHwg]; ost != nil {
+		e.requeueBatchFor(ost, m)
+	}
 	if m.joinTicker != nil {
 		m.joinTicker.Stop()
 		m.joinTicker = nil

@@ -28,6 +28,12 @@ import (
 func (e *Endpoint) onHWGStop(gid ids.HWGID) {
 	st := e.hwgState(gid)
 	st.stopped = true
+	// Batched data can no longer be multicast under its current view
+	// tags (vsync has quiesced; a send now would surface in the next
+	// HWG view, still stamped with old LWG views, and be dropped
+	// everywhere). Return it to the pending queues — the post-view
+	// drain re-stamps and re-sends it.
+	e.requeueBatch(st)
 	// The LWG layer quiesces by buffering its sends (Send checks
 	// st.stopped), so it can acknowledge immediately.
 	_ = e.hwg.StopOk(gid)
@@ -87,6 +93,10 @@ func (e *Endpoint) onHWGData(gid ids.HWGID, src ids.ProcessID, payload vsync.Pay
 	switch msg := payload.(type) {
 	case *lwgData:
 		e.onLwgData(st, src, msg)
+	case *lwgBatch:
+		for _, d := range msg.Msgs {
+			e.onLwgData(st, src, d)
+		}
 	case *lwgJoinReq:
 		e.onLwgJoinReq(st, msg)
 	case *lwgLeaveReq:
@@ -103,7 +113,7 @@ func (e *Endpoint) onHWGData(gid ids.HWGID, src ids.ProcessID, payload vsync.Pay
 			// flushed out after our leave was lost to a partition
 			// (see maybeRepudiate). Answer so the exclusion flush can
 			// complete; we have nothing to quiesce.
-			_ = e.hwg.Send(gid, &lwgFlushOk{LWG: msg.LWG, View: msg.View, From: e.pid})
+			e.hwgSend(gid, &lwgFlushOk{LWG: msg.LWG, View: msg.View, From: e.pid})
 		}
 	case *lwgFlushOk:
 		if m := e.memberOn(msg.LWG, gid); m != nil {
@@ -174,7 +184,7 @@ func (e *Endpoint) onLwgJoinReq(st *hwgState, msg *lwgJoinReq) {
 	if target, moved := st.forward[msg.LWG]; moved {
 		// Only one member answers to keep the bus quiet.
 		if !st.view.ID.IsZero() && st.view.Coordinator() == e.pid {
-			_ = e.hwg.Send(st.gid, &lwgMoved{LWG: msg.LWG, Target: target})
+			e.hwgSend(st.gid, &lwgMoved{LWG: msg.LWG, Target: target})
 		}
 		return
 	}
@@ -317,7 +327,7 @@ func (e *Endpoint) maybeRepudiate(st *hwgState, rec viewRecord) {
 		return
 	}
 	e.trace("repudiate", "%s: view %v claims this process; leaving", rec.LWG, rec.View.ID)
-	_ = e.hwg.Send(st.gid, &lwgLeaveReq{LWG: rec.LWG, From: e.pid})
+	e.hwgSend(st.gid, &lwgLeaveReq{LWG: rec.LWG, From: e.pid})
 }
 
 // triggerMergeViews multicasts MERGE-VIEWS once per HWG view.
@@ -327,7 +337,7 @@ func (e *Endpoint) triggerMergeViews(st *hwgState) {
 	}
 	st.mergePending = true
 	e.trace("merge-views", "trigger on %v", st.gid)
-	_ = e.hwg.Send(st.gid, &lwgMergeViews{})
+	e.hwgSend(st.gid, &lwgMergeViews{})
 }
 
 // onMergeViews implements Figure 5 lines 108–111: every member multicasts
@@ -344,7 +354,7 @@ func (e *Endpoint) onMergeViews(st *hwgState) {
 		}
 	}
 	sort.Slice(views, func(i, j int) bool { return views[i].LWG < views[j].LWG })
-	_ = e.hwg.Send(st.gid, &lwgMappedViews{Views: views})
+	e.hwgSend(st.gid, &lwgMappedViews{Views: views})
 	if e.hwg.IsCoordinator(st.gid) {
 		_ = e.hwg.Flush(st.gid)
 	}
@@ -523,7 +533,7 @@ func (e *Endpoint) announceLocal(st *hwgState) {
 		return
 	}
 	sort.Slice(views, func(i, j int) bool { return views[i].LWG < views[j].LWG })
-	_ = e.hwg.Send(st.gid, &lwgAnnounce{Views: views})
+	e.hwgSend(st.gid, &lwgAnnounce{Views: views})
 }
 
 // --- switching protocol (Sections 3, 6.2) -----------------------------------
@@ -545,7 +555,7 @@ func (m *lwgMember) startSwitch(target ids.HWGID, fresh bool) {
 		if m.sw == nil || m.sw.target != target {
 			return
 		}
-		_ = e.hwg.Send(m.hwg, &lwgSwitch{LWG: m.id, View: m.view.ID, Target: target})
+		e.hwgSend(m.hwg, &lwgSwitch{LWG: m.id, View: m.view.ID, Target: target})
 		m.beginSwitchMember(target)
 	})
 }
@@ -607,7 +617,7 @@ func (m *lwgMember) sendSwitchReady() {
 	if _, ok := m.e.hwg.CurrentView(m.switchTarget); !ok {
 		return
 	}
-	_ = m.e.hwg.Send(m.switchTarget, &lwgSwitchReady{
+	m.e.hwgSend(m.switchTarget, &lwgSwitchReady{
 		LWG: m.id, View: m.view.ID, From: m.e.pid,
 	})
 }
@@ -625,7 +635,7 @@ func (e *Endpoint) onSwitchReady(st *hwgState, msg *lwgSwitchReady) {
 		// straggler's view since): repeat the current binding. The
 		// straggler re-binds or, if merged away, lands in a singleton
 		// that merge-views folds back in.
-		_ = e.hwg.Send(st.gid, &lwgView{
+		e.hwgSend(st.gid, &lwgView{
 			Rec: viewRecord{LWG: m.id, View: m.view.Clone(), Ancestors: m.ancestors},
 			HWG: st.gid,
 		})
@@ -653,7 +663,7 @@ func (m *lwgMember) completeSwitch() {
 		return
 	}
 	m.sw.sent = true
-	_ = m.e.hwg.Send(m.sw.target, &lwgView{
+	m.e.hwgSend(m.sw.target, &lwgView{
 		Rec: viewRecord{LWG: m.id, View: m.view.Clone(), Ancestors: m.ancestors},
 		HWG: m.sw.target,
 	})

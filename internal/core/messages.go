@@ -32,6 +32,23 @@ type lwgData struct {
 // WireSize implements vsync.Payload.
 func (m *lwgData) WireSize() int { return 24 + len(m.Data) }
 
+// lwgBatch packs several lwgData payloads from one sender — possibly
+// spanning every LWG mapped on the HWG — into a single multicast. Each
+// packed message keeps its own LWG and view tag, so receivers unpack
+// and filter exactly as if the messages had arrived separately.
+type lwgBatch struct {
+	Msgs []*lwgData
+}
+
+// WireSize implements vsync.Payload.
+func (m *lwgBatch) WireSize() int {
+	n := 8
+	for _, d := range m.Msgs {
+		n += d.WireSize()
+	}
+	return n
+}
+
 // lwgJoinReq asks the LWG's members (on the HWG the naming service mapped
 // it to) to admit the sender.
 type lwgJoinReq struct {
@@ -163,6 +180,7 @@ func (m *lwgSwitchReady) WireSize() int { return 24 }
 
 var (
 	_ vsync.Payload = (*lwgData)(nil)
+	_ vsync.Payload = (*lwgBatch)(nil)
 	_ vsync.Payload = (*lwgJoinReq)(nil)
 	_ vsync.Payload = (*lwgLeaveReq)(nil)
 	_ vsync.Payload = (*lwgMoved)(nil)

@@ -11,11 +11,14 @@ var registerOnce sync.Once
 
 // RegisterWireTypes registers the light-weight group layer's message
 // types (which travel as vsync payloads) with encoding/gob, along with
-// the layers underneath, for transports that serialize messages.
+// the layers underneath, for transports that serialize messages, and
+// installs the binary-codec decoders for the data-path payloads.
 func RegisterWireTypes() {
 	registerOnce.Do(func() {
 		vsync.RegisterWireTypes()
+		registerCodecs()
 		gob.Register(&lwgData{})
+		gob.Register(&lwgBatch{})
 		gob.Register(&lwgJoinReq{})
 		gob.Register(&lwgLeaveReq{})
 		gob.Register(&lwgMoved{})

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Reservoir is a bounded-memory histogram: it keeps a uniform random
+// sample of at most cap samples (Vitter's algorithm R) together with
+// exact count, mean, min and max over ALL samples. Percentiles are
+// answered from the reservoir, so they are estimates once the sample
+// count exceeds the capacity. Use it where an experiment can record an
+// unbounded number of samples and the exact-percentile Histogram would
+// grow without limit.
+//
+// The replacement decisions come from a seeded deterministic source, so
+// a simulation run reports identical numbers on every execution.
+type Reservoir struct {
+	h     Histogram
+	cap   int
+	rng   *rand.Rand
+	count int64
+	sum   float64
+	min   time.Duration
+	max   time.Duration
+}
+
+// NewReservoir builds a reservoir keeping at most capacity samples.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Reservoir{cap: capacity, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add records one sample.
+func (r *Reservoir) Add(d time.Duration) {
+	r.count++
+	r.sum += float64(d)
+	if r.count == 1 || d < r.min {
+		r.min = d
+	}
+	if d > r.max {
+		r.max = d
+	}
+	if len(r.h.samples) < r.cap {
+		r.h.Add(d)
+		return
+	}
+	if j := r.rng.Int63n(r.count); j < int64(r.cap) {
+		r.h.samples[j] = d
+		r.h.sorted = false
+	}
+}
+
+// Count returns the number of samples recorded (not retained).
+func (r *Reservoir) Count() int64 { return r.count }
+
+// Mean returns the exact mean over all samples.
+func (r *Reservoir) Mean() time.Duration {
+	if r.count == 0 {
+		return 0
+	}
+	return time.Duration(r.sum / float64(r.count))
+}
+
+// Min returns the exact minimum over all samples.
+func (r *Reservoir) Min() time.Duration { return r.min }
+
+// Max returns the exact maximum over all samples.
+func (r *Reservoir) Max() time.Duration { return r.max }
+
+// Percentile estimates the p-th percentile from the retained sample.
+func (r *Reservoir) Percentile(p float64) time.Duration {
+	return r.h.Percentile(p)
+}

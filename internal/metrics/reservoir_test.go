@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReservoirExactStatsBelowCapacity(t *testing.T) {
+	// Under capacity the reservoir must behave exactly like a Histogram.
+	r := NewReservoir(100, 1)
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		r.Add(d * time.Millisecond)
+	}
+	if r.Count() != 5 {
+		t.Errorf("Count = %d", r.Count())
+	}
+	if r.Mean() != 3*time.Millisecond {
+		t.Errorf("Mean = %v", r.Mean())
+	}
+	if r.Min() != time.Millisecond || r.Max() != 5*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+	if got := r.Percentile(100); got != 5*time.Millisecond {
+		t.Errorf("P100 = %v", got)
+	}
+}
+
+func TestReservoirBoundedRetention(t *testing.T) {
+	// Exact aggregates survive far past the capacity while memory stays
+	// bounded at cap samples.
+	const cap = 64
+	r := NewReservoir(cap, 7)
+	const n = 100_000
+	for i := 1; i <= n; i++ {
+		r.Add(time.Duration(i) * time.Microsecond)
+	}
+	if r.Count() != n {
+		t.Errorf("Count = %d, want %d", r.Count(), n)
+	}
+	if len(r.h.samples) != cap {
+		t.Errorf("retained %d samples, want cap %d", len(r.h.samples), cap)
+	}
+	if r.Min() != time.Microsecond || r.Max() != n*time.Microsecond {
+		t.Errorf("exact Min/Max lost: %v/%v", r.Min(), r.Max())
+	}
+	wantMean := time.Duration((n + 1) / 2 * int64(time.Microsecond))
+	if got := r.Mean(); got < wantMean-time.Microsecond || got > wantMean+time.Microsecond {
+		t.Errorf("Mean = %v, want ~%v", got, wantMean)
+	}
+	// The uniform sample must put the median estimate in the right
+	// neighborhood (a uniform 64-sample estimate of U(0,100ms)'s median
+	// is within ±25% with overwhelming probability for a fixed seed).
+	p50 := r.Percentile(50)
+	if p50 < n/4*time.Microsecond || p50 > 3*n/4*time.Microsecond {
+		t.Errorf("P50 estimate wildly off: %v", p50)
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		r := NewReservoir(32, 42)
+		for i := 0; i < 10_000; i++ {
+			r.Add(time.Duration(i%997) * time.Millisecond)
+		}
+		return r.Percentile(90)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed produced different estimates: %v vs %v", a, b)
+	}
+}
+
+func TestReservoirDefaultCapacity(t *testing.T) {
+	r := NewReservoir(0, 1)
+	for i := 0; i < 3000; i++ {
+		r.Add(time.Duration(i))
+	}
+	if len(r.h.samples) != 1024 {
+		t.Errorf("default capacity retained %d, want 1024", len(r.h.samples))
+	}
+}

@@ -10,17 +10,28 @@ import (
 	"plwg/internal/ids"
 	"plwg/internal/netsim"
 	"plwg/internal/sim"
+	"plwg/internal/wire"
 )
 
-// envelope is the wire format: one gob-encoded envelope per UDP datagram.
-// Concrete message types must be registered with gob by the protocol
-// packages (their RegisterWireTypes functions).
+// envelope is the unit of transfer: one encoded envelope per UDP
+// datagram (pre-fragmentation). A leading tag byte selects the codec:
+// hot message types that implement wire.Marshaler use the compact
+// binary codec; everything else rides a per-datagram gob stream (gob
+// re-sends type descriptors on every independent stream, which is why
+// the hot path avoids it). Concrete message types must be registered
+// with gob by the protocol packages (their RegisterWireTypes
+// functions), which also install the codec decoders.
 type envelope struct {
 	From ids.ProcessID
 	Addr string
 	Uni  bool
 	Msg  netsim.Message
 }
+
+const (
+	envGob   byte = 0 // gob-encoded envelope follows
+	envCodec byte = 1 // binary codec: From, Uni, Addr, then the message
+)
 
 // Transport is a netsim.Transport over UDP. Multicast is emulated by
 // unicast fan-out to every peer; receivers filter by their local
@@ -135,12 +146,13 @@ func (t *Transport) Multicast(from netsim.NodeID, addr netsim.Addr, msg netsim.M
 	if from != t.pid {
 		return
 	}
-	data, err := encodeEnvelope(envelope{From: from, Addr: string(addr), Msg: msg})
+	buf, err := encodeEnvelope(&envelope{From: from, Addr: string(addr), Msg: msg})
 	if err != nil {
 		return // unregistered type; nothing sane to do at this layer
 	}
 	t.nextMsgID++
-	chunks := fragment(t.nextMsgID, data)
+	chunks := fragment(t.nextMsgID, buf.B)
+	buf.Release()
 	for _, p := range t.order {
 		if t.blocked[p] {
 			continue
@@ -176,12 +188,14 @@ func (t *Transport) Unicast(from, to netsim.NodeID, addr netsim.Addr, msg netsim
 	if !ok || t.blocked[to] {
 		return
 	}
-	data, err := encodeEnvelope(envelope{From: from, Addr: string(addr), Uni: true, Msg: msg})
+	buf, err := encodeEnvelope(&envelope{From: from, Addr: string(addr), Uni: true, Msg: msg})
 	if err != nil {
 		return
 	}
 	t.nextMsgID++
-	for _, c := range fragment(t.nextMsgID, data) {
+	chunks := fragment(t.nextMsgID, buf.B)
+	buf.Release()
+	for _, c := range chunks {
 		_, _ = t.conn.WriteToUDP(c, peer)
 	}
 }
@@ -224,18 +238,61 @@ func (t *Transport) readLoop() {
 	}
 }
 
-func encodeEnvelope(env envelope) ([]byte, error) {
-	var b bytes.Buffer
-	if err := gob.NewEncoder(&b).Encode(&env); err != nil {
+// encodeEnvelope serializes the envelope into a pooled buffer. The
+// caller must Release the buffer once the bytes are copied out
+// (fragment copies them into per-chunk datagrams). The gob fallback
+// shares the pooled storage but still pays a fresh encoder per
+// datagram: each datagram is decoded as an independent stream, and gob
+// streams cannot be split (the type descriptors live at the front).
+func encodeEnvelope(env *envelope) (*wire.Buffer, error) {
+	b := wire.GetBuffer()
+	if m, ok := env.Msg.(wire.Marshaler); ok {
+		b.Byte(envCodec)
+		b.Int64(int64(env.From))
+		b.Bool(env.Uni)
+		b.String(env.Addr)
+		if wire.Encode(b, m) {
+			return b, nil
+		}
+		// Nested content without codec support (e.g. a data message
+		// carrying an unregistered payload): gob the whole envelope.
+		b.Reset()
+	}
+	b.Byte(envGob)
+	if err := gob.NewEncoder(b).Encode(env); err != nil {
+		b.Release()
 		return nil, fmt.Errorf("encode envelope: %w", err)
 	}
-	return b.Bytes(), nil
+	return b, nil
 }
 
 func decodeEnvelope(data []byte) (envelope, error) {
-	var env envelope
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
-		return envelope{}, fmt.Errorf("decode envelope: %w", err)
+	if len(data) == 0 {
+		return envelope{}, fmt.Errorf("decode envelope: empty")
 	}
-	return env, nil
+	switch data[0] {
+	case envCodec:
+		r := wire.NewReader(data[1:])
+		env := envelope{From: ids.ProcessID(r.Int64())}
+		env.Uni = r.Bool()
+		env.Addr = r.String()
+		m, err := wire.Decode(r)
+		if err != nil {
+			return envelope{}, fmt.Errorf("decode envelope: %w", err)
+		}
+		msg, ok := m.(netsim.Message)
+		if !ok {
+			return envelope{}, fmt.Errorf("decode envelope: %T is not a message", m)
+		}
+		env.Msg = msg
+		return env, nil
+	case envGob:
+		var env envelope
+		if err := gob.NewDecoder(bytes.NewReader(data[1:])).Decode(&env); err != nil {
+			return envelope{}, fmt.Errorf("decode envelope: %w", err)
+		}
+		return env, nil
+	default:
+		return envelope{}, fmt.Errorf("decode envelope: unknown codec tag %d", data[0])
+	}
 }

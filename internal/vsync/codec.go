@@ -1,0 +1,206 @@
+package vsync
+
+import (
+	"fmt"
+	"sort"
+
+	"plwg/internal/ids"
+	"plwg/internal/wire"
+)
+
+// Binary-codec support (internal/wire) for the hot message types: data,
+// order tokens, acks and heartbeats dominate datagram volume, so they
+// bypass gob on the real transport. The rare control messages (join,
+// flush, view installation) stay on the gob fallback. Identifiers 1–15
+// are reserved for this package.
+
+const (
+	wireMsgData byte = iota + 1
+	wireOrdToken
+	wireMsgAck
+	wireMsgAckVector
+	wireMsgHeartbeat
+
+	// wireBenchPayload (top of the vsync range) is the stand-in
+	// application payload of the codec microbenchmarks.
+	wireBenchPayload byte = 15
+)
+
+func putViewID(b *wire.Buffer, v ids.ViewID) {
+	b.Int64(int64(v.Coord))
+	b.Uint64(v.Seq)
+}
+
+func getViewID(r *wire.Reader) ids.ViewID {
+	return ids.ViewID{Coord: ids.ProcessID(r.Int64()), Seq: r.Uint64()}
+}
+
+func putMsgKey(b *wire.Buffer, k msgKey) {
+	putViewID(b, k.View)
+	b.Int64(int64(k.Sender))
+	b.Uint64(k.Seq)
+}
+
+func getMsgKey(r *wire.Reader) msgKey {
+	return msgKey{View: getViewID(r), Sender: ids.ProcessID(r.Int64()), Seq: r.Uint64()}
+}
+
+// putSeqMap encodes a per-process sequence vector with sorted keys, so
+// identical vectors encode to identical bytes.
+func putSeqMap(b *wire.Buffer, m map[ids.ProcessID]uint64) {
+	b.Uint64(uint64(len(m)))
+	if len(m) == 0 {
+		return
+	}
+	keys := make([]ids.ProcessID, 0, len(m))
+	for p := range m {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, p := range keys {
+		b.Int64(int64(p))
+		b.Uint64(m[p])
+	}
+}
+
+func getSeqMap(r *wire.Reader) map[ids.ProcessID]uint64 {
+	n := r.Uint64()
+	if n == 0 || r.Err() != nil {
+		return nil
+	}
+	const maxEntries = 1 << 16 // sanity bound against corrupt input
+	if n > maxEntries {
+		return nil
+	}
+	m := make(map[ids.ProcessID]uint64, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		p := ids.ProcessID(r.Int64())
+		m[p] = r.Uint64()
+	}
+	return m
+}
+
+// WireID implements wire.Marshaler.
+func (m *msgData) WireID() byte { return wireMsgData }
+
+// MarshalWire implements wire.Marshaler. It reports false when the
+// payload has no codec support; the transport then falls back to gob
+// for the whole datagram.
+func (m *msgData) MarshalWire(b *wire.Buffer) bool {
+	b.Int64(int64(m.GID))
+	putViewID(b, m.View)
+	b.Int64(int64(m.Sender))
+	b.Uint64(m.Seq)
+	b.Bool(m.Ordered)
+	putSeqMap(b, m.Acks)
+	if m.Payload == nil {
+		b.Byte(0)
+		return true
+	}
+	pm, ok := m.Payload.(wire.Marshaler)
+	if !ok {
+		return false
+	}
+	b.Byte(1)
+	return wire.Encode(b, pm)
+}
+
+// WireID implements wire.Marshaler.
+func (t *ordToken) WireID() byte { return wireOrdToken }
+
+// MarshalWire implements wire.Marshaler.
+func (t *ordToken) MarshalWire(b *wire.Buffer) bool {
+	putMsgKey(b, t.Key)
+	b.Uint64(t.Idx)
+	return true
+}
+
+// WireID implements wire.Marshaler.
+func (m *msgAck) WireID() byte { return wireMsgAck }
+
+// MarshalWire implements wire.Marshaler.
+func (m *msgAck) MarshalWire(b *wire.Buffer) bool {
+	b.Int64(int64(m.GID))
+	putMsgKey(b, m.Key)
+	b.Int64(int64(m.From))
+	return true
+}
+
+// WireID implements wire.Marshaler.
+func (m *msgAckVector) WireID() byte { return wireMsgAckVector }
+
+// MarshalWire implements wire.Marshaler.
+func (m *msgAckVector) MarshalWire(b *wire.Buffer) bool {
+	b.Int64(int64(m.GID))
+	putViewID(b, m.View)
+	b.Int64(int64(m.From))
+	putSeqMap(b, m.MaxSeq)
+	return true
+}
+
+// WireID implements wire.Marshaler.
+func (m *msgHeartbeat) WireID() byte { return wireMsgHeartbeat }
+
+// MarshalWire implements wire.Marshaler.
+func (m *msgHeartbeat) MarshalWire(b *wire.Buffer) bool {
+	b.Int64(int64(m.GID))
+	b.Int64(int64(m.From))
+	putViewID(b, m.View)
+	b.Uint64(m.MaxSeq)
+	return true
+}
+
+func registerCodecs() {
+	wire.Register(wireMsgData, func(r *wire.Reader) (wire.Marshaler, error) {
+		m := &msgData{
+			GID: ids.HWGID(r.Int64()),
+		}
+		m.View = getViewID(r)
+		m.Sender = ids.ProcessID(r.Int64())
+		m.Seq = r.Uint64()
+		m.Ordered = r.Bool()
+		m.Acks = getSeqMap(r)
+		if r.Bool() {
+			pm, err := wire.Decode(r)
+			if err != nil {
+				return nil, err
+			}
+			p, ok := pm.(Payload)
+			if !ok {
+				return nil, fmt.Errorf("vsync: decoded payload %T is not a Payload", pm)
+			}
+			m.Payload = p
+		}
+		return m, r.Err()
+	})
+	wire.Register(wireOrdToken, func(r *wire.Reader) (wire.Marshaler, error) {
+		return &ordToken{Key: getMsgKey(r), Idx: r.Uint64()}, r.Err()
+	})
+	wire.Register(wireMsgAck, func(r *wire.Reader) (wire.Marshaler, error) {
+		m := &msgAck{GID: ids.HWGID(r.Int64())}
+		m.Key = getMsgKey(r)
+		m.From = ids.ProcessID(r.Int64())
+		return m, r.Err()
+	})
+	wire.Register(wireMsgAckVector, func(r *wire.Reader) (wire.Marshaler, error) {
+		m := &msgAckVector{GID: ids.HWGID(r.Int64())}
+		m.View = getViewID(r)
+		m.From = ids.ProcessID(r.Int64())
+		m.MaxSeq = getSeqMap(r)
+		return m, r.Err()
+	})
+	wire.Register(wireMsgHeartbeat, func(r *wire.Reader) (wire.Marshaler, error) {
+		m := &msgHeartbeat{GID: ids.HWGID(r.Int64())}
+		m.From = ids.ProcessID(r.Int64())
+		m.View = getViewID(r)
+		m.MaxSeq = r.Uint64()
+		return m, r.Err()
+	})
+	wire.Register(wireBenchPayload, func(r *wire.Reader) (wire.Marshaler, error) {
+		p := &benchPayload{}
+		if raw := r.Bytes(); len(raw) > 0 {
+			p.Data = append([]byte(nil), raw...)
+		}
+		return p, r.Err()
+	})
+}

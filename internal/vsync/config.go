@@ -7,15 +7,22 @@ type AckPolicy int
 
 const (
 	// AckPerMessage sends one small acknowledgement frame per delivered
-	// data message (Horus-style stability). This is the default; the
-	// acknowledgement traffic is a first-order component of the paper's
-	// interference effect, because a group of 8 produces more than twice
-	// the stability traffic of a group of 4 per data message.
+	// data message (Horus-style stability). The acknowledgement traffic
+	// is a first-order component of the paper's interference effect,
+	// because a group of 8 produces more than twice the stability
+	// traffic of a group of 4 per data message.
 	AckPerMessage AckPolicy = iota + 1
 	// AckPeriodic sends one cumulative acknowledgement vector per
 	// AckInterval instead — an ablation of the stability-traffic design
 	// choice.
 	AckPeriodic
+	// AckPiggyback (the default) carries the cumulative acknowledgement
+	// vector on every outgoing data message, falling back to one
+	// standalone vector per AckInterval only when the member sent no
+	// data since the last tick. Busy bidirectional traffic pays no
+	// extra frames at all; idle receivers cost one small frame per
+	// interval.
+	AckPiggyback
 )
 
 // OrderingMode selects the delivery order guarantee for group multicasts.
@@ -63,10 +70,11 @@ type Config struct {
 	// upcalling the user. The light-weight group layer keeps it false so
 	// it can quiesce its own groups first (Table 1's Stop/StopOk pair).
 	AutoStopOk bool
-	// AckPolicy selects the stability scheme (default AckPerMessage).
+	// AckPolicy selects the stability scheme (default AckPiggyback).
 	AckPolicy AckPolicy
 	// AckInterval is the cumulative-acknowledgement period under
-	// AckPeriodic.
+	// AckPeriodic, and the idle-receiver fallback period under
+	// AckPiggyback.
 	AckInterval time.Duration
 	// Ordering selects the multicast delivery order (default
 	// OrderingFIFO).
@@ -91,7 +99,7 @@ func DefaultConfig() Config {
 		ResponderTimeout:  1500 * time.Millisecond,
 		MaxFlushAttempts:  5,
 		AutoStopOk:        false,
-		AckPolicy:         AckPerMessage,
+		AckPolicy:         AckPiggyback,
 		AckInterval:       50 * time.Millisecond,
 		NackInterval:      100 * time.Millisecond,
 	}

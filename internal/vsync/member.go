@@ -35,6 +35,10 @@ type member struct {
 	// Sending.
 	nextSeq uint64
 	pending []Payload
+	// piggybacked is set when an outgoing data message carried the
+	// cumulative ack vector (AckPiggyback); the ack ticker skips one
+	// standalone vector per interval in which it is set.
+	piggybacked bool
 
 	// Per-view delivery and stability state (reset at each install).
 	delivered map[msgKey]bool
@@ -251,7 +255,23 @@ func (m *member) send(p Payload) {
 		Seq:     m.nextSeq,
 		Payload: p,
 		Ordered: m.st.cfg.Ordering == OrderingTotal,
+		Acks:    m.ackSnapshot(),
 	})
+}
+
+// ackSnapshot copies the delivered-sequence vector for piggybacking on an
+// outgoing data message (nil under the other ack policies, or when
+// nothing was delivered yet).
+func (m *member) ackSnapshot() map[ids.ProcessID]uint64 {
+	if m.st.cfg.AckPolicy != AckPiggyback || len(m.deliveredSeq) == 0 {
+		return nil
+	}
+	vec := make(map[ids.ProcessID]uint64, len(m.deliveredSeq))
+	for s, q := range m.deliveredSeq {
+		vec[s] = q
+	}
+	m.piggybacked = true
+	return vec
 }
 
 // sendInternal multicasts a protocol-internal payload (order tokens) as
@@ -265,6 +285,7 @@ func (m *member) sendInternal(p Payload) {
 		Sender:  m.st.pid,
 		Seq:     m.nextSeq,
 		Payload: p,
+		Acks:    m.ackSnapshot(),
 	})
 }
 
@@ -274,6 +295,11 @@ func (m *member) onData(from ids.ProcessID, d *msgData) {
 	}
 	m.heard(from)
 	m.deliverData(d, true)
+	if len(d.Acks) > 0 {
+		// Piggybacked cumulative vector: same stability rule as a
+		// standalone msgAckVector.
+		m.applyAckVector(d.Sender, d.Acks)
+	}
 }
 
 // deliverData performs deduplicated delivery; ack controls whether a
@@ -393,12 +419,19 @@ func (m *member) onAckVector(from ids.ProcessID, a *msgAckVector) {
 		return
 	}
 	m.heard(from)
+	m.applyAckVector(from, a.MaxSeq)
+}
+
+// applyAckVector merges a cumulative acknowledgement vector from a peer
+// (standalone or piggybacked; the caller has checked the view) and
+// collects any stability it unlocks.
+func (m *member) applyAckVector(from ids.ProcessID, maxSeq map[ids.ProcessID]uint64) {
 	vec := m.ackVectors[from]
 	if vec == nil {
 		vec = make(map[ids.ProcessID]uint64)
 		m.ackVectors[from] = vec
 	}
-	for sender, seq := range a.MaxSeq {
+	for sender, seq := range maxSeq {
 		if vec[sender] < seq {
 			vec[sender] = seq
 		}
@@ -429,7 +462,8 @@ func (m *member) checkStable(k msgKey) {
 	delete(m.acks, k)
 }
 
-// collectVectorStability applies cumulative-ack stability (AckPeriodic).
+// collectVectorStability applies cumulative-ack stability (AckPeriodic
+// and AckPiggyback).
 func (m *member) collectVectorStability() {
 	for k := range m.buffer {
 		stable := true
@@ -451,6 +485,12 @@ func (m *member) collectVectorStability() {
 
 func (m *member) sendAckVector() {
 	if m.state != stateNormal || len(m.deliveredSeq) == 0 {
+		return
+	}
+	if m.st.cfg.AckPolicy == AckPiggyback && m.piggybacked {
+		// Data traffic carried the vector since the last tick; the
+		// standalone frame would be pure overhead.
+		m.piggybacked = false
 		return
 	}
 	vec := make(map[ids.ProcessID]uint64, len(m.deliveredSeq))
@@ -678,7 +718,7 @@ func (m *member) startTimers() {
 		m.fdTicker = m.st.clock.Every(cfg.FDCheckInterval, m.checkFailures)
 		m.presTicker = m.st.clock.Every(cfg.PresenceInterval, m.sendPresence)
 		m.nackTicker = m.st.clock.Every(cfg.NackInterval, m.scanGaps)
-		if cfg.AckPolicy == AckPeriodic {
+		if cfg.AckPolicy == AckPeriodic || cfg.AckPolicy == AckPiggyback {
 			m.ackTicker = m.st.clock.Every(cfg.AckInterval, m.sendAckVector)
 		}
 	})
@@ -744,6 +784,7 @@ func (m *member) install(v ids.View) {
 	m.stopPending = false
 	m.stopEpoch = epoch{}
 	m.nextSeq = 0
+	m.piggybacked = false
 	m.delivered = make(map[msgKey]bool)
 	m.buffer = make(map[msgKey]*msgData)
 	m.acks = make(map[msgKey]map[ids.ProcessID]bool)

@@ -53,13 +53,17 @@ type msgData struct {
 	// Ordered marks messages subject to total-order delivery: they are
 	// held back until the view coordinator's order token arrives.
 	Ordered bool
+	// Acks piggybacks the sender's cumulative acknowledgement vector
+	// (highest contiguous sequence delivered per sender in View); nil
+	// unless the AckPiggyback policy is active.
+	Acks map[ids.ProcessID]uint64
 }
 
 func (m *msgData) key() msgKey { return msgKey{View: m.View, Sender: m.Sender, Seq: m.Seq} }
 
 // WireSize implements netsim.Message.
 func (m *msgData) WireSize() int {
-	n := 32
+	n := 32 + 12*len(m.Acks)
 	if m.Payload != nil {
 		n += m.Payload.WireSize()
 	}

@@ -9,10 +9,12 @@ var registerOnce sync.Once
 
 // RegisterWireTypes registers the heavy-weight group layer's message
 // types with encoding/gob, for transports that serialize messages (the
-// real-network transport). The simulated network passes messages by
+// real-network transport), and installs the binary-codec decoders for
+// the hot message types. The simulated network passes messages by
 // reference and does not need this.
 func RegisterWireTypes() {
 	registerOnce.Do(func() {
+		registerCodecs()
 		gob.Register(&msgData{})
 		gob.Register(&ordToken{})
 		gob.Register(&msgAck{})
@@ -29,5 +31,6 @@ func RegisterWireTypes() {
 		gob.Register(&msgFlushPull{})
 		gob.Register(&msgFlushFill{})
 		gob.Register(&msgNewView{})
+		gob.Register(&benchPayload{})
 	})
 }

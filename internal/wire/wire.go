@@ -1,0 +1,223 @@
+// Package wire is a compact hand-rolled binary codec for the hot-path
+// protocol messages. encoding/gob ships a full type description with
+// every independently decoded stream — one per UDP datagram on the real
+// transport — which dominates the per-datagram encode cost. The codec
+// replaces that with one identifier byte per registered type and
+// varint-packed fields, and pools its buffers so the steady-state send
+// path allocates nothing.
+//
+// Only the message types that dominate traffic (data, batches, acks,
+// heartbeats) implement Marshaler; everything else falls back to gob at
+// the transport layer. A Marshaler whose nested content cannot be
+// encoded (e.g. a data message carrying an unregistered payload)
+// reports false from MarshalWire and the caller falls back for the
+// whole datagram, so the two codecs never mix within one message.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Marshaler is implemented by messages the codec can encode.
+type Marshaler interface {
+	// WireID returns the registered type identifier.
+	WireID() byte
+	// MarshalWire appends the message body to b. It returns false if
+	// the message cannot be encoded by the codec (the caller must
+	// discard the buffer contents and fall back to gob).
+	MarshalWire(b *Buffer) bool
+}
+
+// Decoder reconstructs one message body from r.
+type Decoder func(r *Reader) (Marshaler, error)
+
+var decoders [256]Decoder
+
+// Register installs the decoder for a type identifier. Identifier
+// ranges are assigned per package (vsync 1–15, core 16–31, naming
+// 32–47) so registrations cannot collide. Register panics on a
+// duplicate identifier: that is a programming error, not a runtime
+// condition.
+func Register(id byte, dec Decoder) {
+	if id == 0 {
+		panic("wire: type id 0 is reserved")
+	}
+	if decoders[id] != nil {
+		panic(fmt.Sprintf("wire: duplicate type id %d", id))
+	}
+	decoders[id] = dec
+}
+
+// Encode appends the type identifier and body of m. It returns false —
+// with the buffer in an undefined state — if m cannot be encoded.
+func Encode(b *Buffer, m Marshaler) bool {
+	b.Byte(m.WireID())
+	return m.MarshalWire(b)
+}
+
+// Decode reads one identifier-prefixed message from r.
+func Decode(r *Reader) (Marshaler, error) {
+	id := r.Byte()
+	if r.err != nil {
+		return nil, r.err
+	}
+	dec := decoders[id]
+	if dec == nil {
+		return nil, fmt.Errorf("wire: unknown type id %d", id)
+	}
+	return dec(r)
+}
+
+// --- encode buffer ---------------------------------------------------------
+
+// Buffer is an append-only encode buffer. Get it from the pool with
+// GetBuffer and return it with Release. It implements io.Writer so a
+// gob encoder can share the same pooled storage on the fallback path.
+type Buffer struct {
+	B []byte
+}
+
+var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 4096)} }}
+
+// GetBuffer returns an empty pooled buffer.
+func GetBuffer() *Buffer {
+	b := bufPool.Get().(*Buffer)
+	b.B = b.B[:0]
+	return b
+}
+
+// Release returns the buffer to the pool. The caller must not touch the
+// buffer (or slices of B) afterwards.
+func (b *Buffer) Release() { bufPool.Put(b) }
+
+// Reset empties the buffer without releasing its storage.
+func (b *Buffer) Reset() { b.B = b.B[:0] }
+
+// Write implements io.Writer.
+func (b *Buffer) Write(p []byte) (int, error) {
+	b.B = append(b.B, p...)
+	return len(p), nil
+}
+
+// Byte appends one byte.
+func (b *Buffer) Byte(v byte) { b.B = append(b.B, v) }
+
+// Bool appends a boolean as one byte.
+func (b *Buffer) Bool(v bool) {
+	if v {
+		b.B = append(b.B, 1)
+	} else {
+		b.B = append(b.B, 0)
+	}
+}
+
+// Uint64 appends an unsigned varint.
+func (b *Buffer) Uint64(v uint64) { b.B = binary.AppendUvarint(b.B, v) }
+
+// Int64 appends a zig-zag signed varint.
+func (b *Buffer) Int64(v int64) { b.B = binary.AppendVarint(b.B, v) }
+
+// Bytes appends a length-prefixed byte slice.
+func (b *Buffer) Bytes(p []byte) {
+	b.B = binary.AppendUvarint(b.B, uint64(len(p)))
+	b.B = append(b.B, p...)
+}
+
+// String appends a length-prefixed string.
+func (b *Buffer) String(s string) {
+	b.B = binary.AppendUvarint(b.B, uint64(len(s)))
+	b.B = append(b.B, s...)
+}
+
+// --- decode reader ---------------------------------------------------------
+
+// ErrTruncated reports input shorter than the encoding demands.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// Reader consumes an encoded byte slice. Errors are sticky: after the
+// first failure every accessor returns a zero value, so a decode
+// function can read all fields and check Err once.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps p for decoding. The reader aliases p; returned byte
+// slices are sub-slices of it.
+func NewReader(p []byte) *Reader { return &Reader{b: p} }
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of unconsumed bytes.
+func (r *Reader) Len() int { return len(r.b) - r.off }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+// Byte reads one byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil || r.off >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+// Bool reads a one-byte boolean.
+func (r *Reader) Bool() bool { return r.Byte() != 0 }
+
+// Uint64 reads an unsigned varint.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int64 reads a zig-zag signed varint.
+func (r *Reader) Int64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Bytes reads a length-prefixed byte slice (aliasing the input).
+func (r *Reader) Bytes() []byte {
+	n := r.Uint64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail()
+		return nil
+	}
+	v := r.b[r.off : r.off+int(n) : r.off+int(n)]
+	r.off += int(n)
+	return v
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes()) }
