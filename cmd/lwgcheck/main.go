@@ -9,6 +9,14 @@
 //	lwgcheck -seeds 50 -nodes 12 -ops 100 -duration 45s
 //	lwgcheck -replay failing.schedule   # re-run a printed reproducer
 //
+// With -rtnet the same schedules run against a live loopback cluster of
+// rtnet nodes over real UDP, with the transport fault layer injecting
+// loss, duplication, reordering, delay jitter and asymmetric partitions:
+//
+//	lwgcheck -rtnet -seeds 100          # real-network sweep, default faults
+//	lwgcheck -rtnet -faults 'loss=0.1,delay=1ms..5ms' -par 8
+//	lwgcheck -rtnet -replay failing.schedule
+//
 // On failure the reproducer is printed in the replayable schedule format
 // and the exit status is 1.
 package main
@@ -18,10 +26,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"plwg/internal/check"
 	"plwg/internal/explore"
 )
+
+// defaultRTFaults is the stock real-network fault schedule: light loss,
+// duplication, heavy reordering and delay jitter on every link (the
+// asymmetric partitions come from the schedules' part ops).
+const defaultRTFaults = "loss=0.05,dup=0.05,reorder=0.1,delay=200us..2ms"
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -42,9 +56,32 @@ func run(args []string, out io.Writer) error {
 	replay := fs.String("replay", "", "replay a schedule file instead of sweeping")
 	noShrink := fs.Bool("noshrink", false, "report failures without shrinking")
 	verbose := fs.Bool("v", false, "print one line per seed")
+	rtMode := fs.Bool("rtnet", false, "run schedules over real UDP (loopback cluster) instead of the simulator")
+	faults := fs.String("faults", defaultRTFaults, "fault spec for -rtnet (see rtnet.ParseFaultSpec)")
+	rtScale := fs.Float64("rtscale", 0.1, "virtual-to-real time scale for -rtnet op delays")
+	par := fs.Int("par", max(1, runtime.NumCPU()/2), "concurrent schedules for the -rtnet sweep")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Real-network runs are wall-clock bound, so the sweep defaults shrink
+	// to keep a 100-seed pass in the minutes range. Explicit flags win.
+	if *rtMode {
+		set := make(map[string]bool)
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["nodes"] {
+			*nodes = 5
+		}
+		if !set["ops"] {
+			*ops = 30
+		}
+		if !set["lwgs"] {
+			*lwgs = 2
+		}
+		if !set["crashes"] {
+			*crashes = 1
+		}
+	}
+	rtOpts := explore.RTOptions{Faults: *faults, Scale: *rtScale}
 	if *nodes < 2 {
 		return fmt.Errorf("-nodes must be at least 2 (got %d)", *nodes)
 	}
@@ -64,7 +101,15 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		r := explore.Run(s)
+		var r explore.Result
+		if *rtMode || s.RTFaults != "" {
+			r, err = explore.RunRT(s, rtOpts)
+			if err != nil {
+				return err
+			}
+		} else {
+			r = explore.Run(s)
+		}
 		report(out, s, r)
 		if r.Failed() {
 			return fmt.Errorf("schedule failed")
@@ -81,7 +126,7 @@ func run(args []string, out io.Writer) error {
 		Quiesce: *duration,
 	}
 	swept := 0
-	failing := explore.Sweep(*start, *seeds, cfg, func(seed int64, r explore.Result) {
+	progress := func(seed int64, r explore.Result) {
 		swept++
 		if *verbose || r.Failed() {
 			status := "ok"
@@ -91,7 +136,23 @@ func run(args []string, out io.Writer) error {
 			}
 			fmt.Fprintf(out, "seed %d: %s\n", seed, status)
 		}
-	})
+		// Real-network failures can be load-sensitive and vanish on the
+		// replay that builds the final report, so print the violations
+		// from the original run while we have them.
+		if r.Failed() && len(r.Violations) > 0 {
+			fmt.Fprintf(out, "%s", check.Summary(r.Violations))
+		}
+	}
+	var failing []explore.Schedule
+	if *rtMode {
+		var err error
+		failing, err = explore.SweepRT(*start, *seeds, cfg, rtOpts, *par, progress)
+		if err != nil {
+			return err
+		}
+	} else {
+		failing = explore.Sweep(*start, *seeds, cfg, progress)
+	}
 	fmt.Fprintf(out, "%d seeds swept, %d failing\n", swept, len(failing))
 	if len(failing) == 0 {
 		return nil
@@ -99,14 +160,24 @@ func run(args []string, out io.Writer) error {
 
 	// Shrink and print a reproducer for the first failure; the rest are
 	// listed by seed only.
+	runOnce := func(c explore.Schedule) explore.Result {
+		if *rtMode {
+			r, err := explore.RunRT(c, rtOpts)
+			if err != nil {
+				return explore.Result{}
+			}
+			return r
+		}
+		return explore.Run(c)
+	}
 	s := failing[0]
 	if !*noShrink {
 		fmt.Fprintf(out, "shrinking seed %d (%d ops)...\n", s.Seed, len(s.Ops))
 		s = explore.Shrink(s, func(c explore.Schedule) bool {
-			return explore.Run(c).Failed()
+			return runOnce(c).Failed()
 		})
 	}
-	report(out, s, explore.Run(s))
+	report(out, s, runOnce(s))
 	if len(failing) > 1 {
 		fmt.Fprintf(out, "other failing seeds:")
 		for _, f := range failing[1:] {

@@ -51,13 +51,14 @@ func run(args []string) error {
 	joinFlag := fs.String("join", "", "groups to join, comma separated")
 	chat := fs.Bool("chat", false, "multicast a line per second on each joined group")
 	runFor := fs.Duration("for", 0, "exit after this long (0 = until SIGINT)")
+	faults := fs.String("faults", "", "outbound fault spec, e.g. 'loss=0.1,delay=1ms..5ms;3:block' (see rtnet.ParseFaultSpec)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *demo || *peersFlag == "" {
 		return runDemo()
 	}
-	return runSingle(*pid, *listen, *peersFlag, *serversFlag, *joinFlag, *chat, *runFor)
+	return runSingle(*pid, *listen, *peersFlag, *serversFlag, *joinFlag, *chat, *runFor, *faults)
 }
 
 // printer logs upcalls (invoked on the protocol goroutine).
@@ -71,12 +72,16 @@ func (p printer) Data(lwg ids.LWGID, src ids.ProcessID, data []byte) {
 	fmt.Printf("[p%d] %s: %v says %q\n", p.pid, lwg, src, data)
 }
 
-func runSingle(pid int, listen, peersFlag, serversFlag, joinFlag string, chat bool, runFor time.Duration) error {
+func runSingle(pid int, listen, peersFlag, serversFlag, joinFlag string, chat bool, runFor time.Duration, faults string) error {
 	peers, err := parsePeers(peersFlag)
 	if err != nil {
 		return err
 	}
 	servers, err := parsePids(serversFlag)
+	if err != nil {
+		return err
+	}
+	faultSpec, err := rtnet.ParseFaultSpec(faults)
 	if err != nil {
 		return err
 	}
@@ -92,10 +97,14 @@ func runSingle(pid int, listen, peersFlag, serversFlag, joinFlag string, chat bo
 		return err
 	}
 	defer node.Close()
+	node.SetFaultSpec(faultSpec)
 	if err := node.Start(); err != nil {
 		return err
 	}
 	fmt.Printf("node p%d listening on %v\n", pid, node.Addr())
+	if faults != "" {
+		fmt.Printf("node p%d injecting faults: %s\n", pid, faultSpec)
+	}
 
 	groups := splitList(joinFlag)
 	for _, g := range groups {

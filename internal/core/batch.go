@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
+
 	"plwg/internal/ids"
+	"plwg/internal/trace"
 	"plwg/internal/vsync"
 )
 
@@ -44,6 +47,10 @@ func (e *Endpoint) enqueueBatch(st *hwgState, msg *lwgData) {
 
 // flushBatch multicasts the pending batch, if any. A single packed
 // message goes out as a plain lwgData — no batch framing to pay for.
+// The LWGSend trace is emitted here, not at enqueue: a batched payload
+// can still be pulled back (requeueBatch) and re-stamped under a later
+// view, so only the copy that actually reaches the wire counts as sent —
+// anything earlier double-counts against the delivery invariants.
 func (e *Endpoint) flushBatch(st *hwgState) {
 	if st.batchTimer != nil {
 		st.batchTimer.Stop()
@@ -54,11 +61,26 @@ func (e *Endpoint) flushBatch(st *hwgState) {
 	}
 	batch := st.batch
 	st.batch, st.batchBytes = nil, 0
+	for _, msg := range batch {
+		e.traceSend(msg)
+	}
 	if len(batch) == 1 {
 		_ = e.hwg.Send(st.gid, batch[0])
 		return
 	}
 	_ = e.hwg.Send(st.gid, &lwgBatch{Msgs: batch})
+}
+
+// traceSend records one data payload leaving under its final view tag.
+func (e *Endpoint) traceSend(msg *lwgData) {
+	e.traceEvent(trace.Event{
+		What:  trace.LWGSend,
+		Text:  fmt.Sprintf("%s: %q in %v", msg.LWG, msg.Data, msg.View),
+		Group: string(msg.LWG),
+		View:  msg.View,
+		Src:   e.pid,
+		Data:  string(msg.Data),
+	})
 }
 
 // hwgSend multicasts a control message on the HWG, draining any pending

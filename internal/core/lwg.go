@@ -43,6 +43,12 @@ type lwgMember struct {
 
 	pendingSends [][]byte
 
+	// preInstall buffers data received while resolving/joining, stamped
+	// with views not yet installed (the admission announcement can lose
+	// the race against the first data sent in the new view when the
+	// joiner was not in the announcing vsync view). Replayed at install.
+	preInstall []pendingData
+
 	// Join machinery.
 	proposedView ids.View // the singleton view offered to ns.testset
 	foundNow     bool     // we won the creation race: found on HWG view
@@ -74,6 +80,12 @@ type lwgFlushRound struct {
 	timer    *sim.Timer
 	attempts int
 	onDone   func()
+}
+
+// pendingData is one buffered pre-install data message.
+type pendingData struct {
+	src ids.ProcessID
+	msg *lwgData
 }
 
 // switchRound is the coordinator-side state of one switching protocol
@@ -118,6 +130,28 @@ func (m *lwgMember) stopTimers() {
 // view.
 func (m *lwgMember) isCoordinator() bool {
 	return len(m.view.Members) > 0 && m.view.Coordinator() == m.e.pid
+}
+
+// actsAsCoordinator reports whether this process should drive the LWG
+// reconfiguration protocol. Normally that is the view coordinator (the
+// minimum member), which this subsumes. But when every member ahead of us
+// is itself a pending leaver the real coordinator cannot be relied on to
+// run the flush: a phantom resurrected by a merge (see maybeRepudiate)
+// repudiates with a leave request yet holds no member state, so if the
+// phantom is the minimum pid nobody would ever reconfigure — the view
+// keeps the phantom forever and the mapping is never refreshed. The
+// lowest member not pending leave steps in; the rule is deterministic, so
+// at most one live process acts per view.
+func (m *lwgMember) actsAsCoordinator() bool {
+	for _, p := range m.view.Members {
+		if p == m.e.pid {
+			return true
+		}
+		if !m.pendingLeavers[p] {
+			return false
+		}
+	}
+	return false
 }
 
 // --- public downcalls ------------------------------------------------------
@@ -166,19 +200,14 @@ func (m *lwgMember) send(data []byte) {
 		m.pendingSends = append(m.pendingSends, data)
 		return
 	}
-	m.e.traceEvent(trace.Event{
-		What:  trace.LWGSend,
-		Text:  fmt.Sprintf("%s: %q in %v", m.id, data, m.view.ID),
-		Group: string(m.id),
-		View:  m.view.ID,
-		Src:   m.e.pid,
-		Data:  string(data),
-	})
 	msg := &lwgData{LWG: m.id, View: m.view.ID, Data: data}
 	if m.e.cfg.DisableBatching {
+		m.e.traceSend(msg)
 		_ = m.e.hwg.Send(m.hwg, msg)
 		return
 	}
+	// Batched payloads are traced as sent when the batch flushes — a
+	// requeue can still re-stamp them under a later view before then.
 	m.e.enqueueBatch(st, msg)
 }
 
@@ -358,7 +387,7 @@ func (m *lwgMember) onJoinReq(from ids.ProcessID) {
 		return
 	}
 	m.pendingJoiners[from] = true
-	if m.isCoordinator() {
+	if m.actsAsCoordinator() {
 		m.maybeLwgReconfig()
 	}
 }
@@ -368,7 +397,7 @@ func (m *lwgMember) onLeaveReq(from ids.ProcessID) {
 		return
 	}
 	m.pendingLeavers[from] = true
-	if m.isCoordinator() {
+	if m.actsAsCoordinator() {
 		m.maybeLwgReconfig()
 	}
 }
@@ -706,9 +735,10 @@ func (m *lwgMember) installView(rec viewRecord, hwg ids.HWGID) {
 	if e.up != nil {
 		e.up.View(m.id, rec.View.Clone())
 	}
+	m.replayPreInstall()
 	m.drainSends()
 	// Serve joins and leaves that queued up during the change.
-	if m.isCoordinator() && (len(m.pendingJoiners) > 0 || len(m.pendingLeavers) > 0 || m.leaveRequested) {
+	if m.actsAsCoordinator() && (len(m.pendingJoiners) > 0 || len(m.pendingLeavers) > 0 || m.leaveRequested) {
 		m.maybeLwgReconfig()
 	} else if m.leaveRequested && !m.isCoordinator() && m.leaveTicker == nil {
 		// A leaving coordinator handles its own exit through a reconfig

@@ -155,26 +155,83 @@ func (e *Endpoint) onLwgData(st *hwgState, src ids.ProcessID, msg *lwgData) {
 	if m == nil {
 		return // no local member: filtered out (the interference cost)
 	}
+	if m.state == lwgJoining {
+		// Admission race: the vsync view that carried our admission
+		// lwgView may not have included this process yet, so data
+		// stamped with our first view can arrive before the
+		// (re-announced) view itself. Dropping it would lose messages
+		// sent in a view we are a member of; buffer and replay at
+		// install. Joiners buffer unconditionally — they have no view
+		// to deliver in yet.
+		m.bufferPreInstall(src, msg)
+		return
+	}
 	switch {
 	case msg.View == m.view.ID:
 		// Figure 5 line 104: the message was sent in our view.
-		e.traceEvent(trace.Event{
-			What:  trace.LWGDeliver,
-			Text:  fmt.Sprintf("%s: %q from %v in %v", msg.LWG, msg.Data, src, msg.View),
-			Group: string(msg.LWG),
-			View:  msg.View,
-			Src:   src,
-			Data:  string(msg.Data),
-		})
-		if e.up != nil {
-			e.up.Data(msg.LWG, src, msg.Data)
-		}
+		m.deliverData(src, msg)
 	case m.ancestors.Contains(msg.View):
 		// Sent in a view we have since superseded: drop.
 	default:
+		// Sent in a view we have not installed: concurrent traffic —
+		// or a successor view's data racing ahead of its announcement
+		// (an HWG flush retransmission can reorder the two). Buffer it
+		// for replay in case we catch up to that view; a merge round
+		// resolves the genuinely concurrent case.
+		m.bufferPreInstall(src, msg)
 		// Figure 5 line 106: a concurrent view of our LWG shares this
 		// HWG — trigger the merge.
 		e.triggerMergeViews(st)
+	}
+}
+
+// deliverData hands one data message to the application.
+func (m *lwgMember) deliverData(src ids.ProcessID, msg *lwgData) {
+	e := m.e
+	e.traceEvent(trace.Event{
+		What:  trace.LWGDeliver,
+		Text:  fmt.Sprintf("%s: %q from %v in %v", msg.LWG, msg.Data, src, msg.View),
+		Group: string(msg.LWG),
+		View:  msg.View,
+		Src:   src,
+		Data:  string(msg.Data),
+	})
+	if e.up != nil {
+		e.up.Data(msg.LWG, src, msg.Data)
+	}
+}
+
+// maxPreInstall bounds the joiner-side data buffer; a joiner that falls
+// further behind sheds the oldest messages (they are the most likely to
+// be superseded by the time a view installs).
+const maxPreInstall = 1024
+
+func (m *lwgMember) bufferPreInstall(src ids.ProcessID, msg *lwgData) {
+	if len(m.preInstall) >= maxPreInstall {
+		m.preInstall = m.preInstall[1:]
+	}
+	m.preInstall = append(m.preInstall, pendingData{src: src, msg: msg})
+}
+
+// replayPreInstall delivers buffered pre-install data stamped with the
+// just-installed view (in receipt order, which is the vsync total
+// order), drops what the genealogy has superseded, and keeps the rest
+// for a later install.
+func (m *lwgMember) replayPreInstall() {
+	if len(m.preInstall) == 0 {
+		return
+	}
+	pend := m.preInstall
+	m.preInstall = nil
+	for _, d := range pend {
+		switch {
+		case d.msg.View == m.view.ID:
+			m.deliverData(d.src, d.msg)
+		case m.ancestors.Contains(d.msg.View):
+			// Superseded while we were joining: drop.
+		default:
+			m.preInstall = append(m.preInstall, d)
+		}
 	}
 }
 
@@ -227,8 +284,13 @@ func (e *Endpoint) onLwgView(st *hwgState, msg *lwgView) {
 		return
 	}
 	// Switch re-binding: same view, new HWG (the lwgView was multicast on
-	// the target).
-	if m.state == lwgSwitching && msg.HWG == st.gid && rec.View.ID == m.view.ID {
+	// the target). Only the announced switch target may re-bind us: a
+	// re-sent or duplicated announcement of the OLD binding (same view,
+	// old HWG — e.g. the coordinator answering a late join retry) would
+	// otherwise cancel the switch and wedge this member on the old HWG
+	// while the rest of the group reconfigures on the target.
+	if m.state == lwgSwitching && msg.HWG == st.gid && st.gid == m.switchTarget &&
+		rec.View.ID == m.view.ID {
 		e.trace("switch", "%s: re-bound to %v", rec.LWG, st.gid)
 		m.installView(rec, st.gid)
 		return

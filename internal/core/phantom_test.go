@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"plwg/internal/ids"
+)
+
+// TestPhantomCoordinatorExcluded pins the fix for a deadlock flushed out
+// by the real-network fault sweeps (lwgcheck -rtnet): a merge can
+// resurrect a member whose local LWG state is gone (its leave raced a
+// partition). maybeRepudiate handles that phantom by sending a leave
+// request — but when the phantom is the MINIMUM member it is also the
+// view's coordinator, so before the fix nobody acted on the request: the
+// survivors parked it in pendingLeavers, the view kept the phantom
+// forever, and with a state-less coordinator the mapping was never
+// refreshed, so the naming lease expired. The acting-coordinator rule
+// (lowest member not pending leave) must let a survivor run the
+// exclusion flush.
+func TestPhantomCoordinatorExcluded(t *testing.T) {
+	w := newCWorld(t, 4, []ids.ProcessID{0}, testCfg())
+	for _, p := range []ids.ProcessID{1, 2, 3} {
+		if err := w.eps[p].Join("a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.run(4 * time.Second)
+	w.requireLWG("a", 1, 2, 3)
+	if !w.eps[1].IsLWGCoordinator("a") {
+		t.Fatal("p1 (minimum member) should coordinate")
+	}
+
+	// Manufacture the phantom: wipe p1's member state while the others'
+	// view still claims it — the post-merge outcome of a leave lost to an
+	// asymmetric partition.
+	w.eps[1].dropLwg("a")
+
+	// Re-announce the view from a survivor so the phantom sees a record
+	// claiming it and repudiates (a merge round would do the same).
+	m2 := w.eps[2].lwgs["a"]
+	w.eps[2].hwgSend(m2.hwg, &lwgAnnounce{Views: []viewRecord{{
+		LWG:       "a",
+		View:      m2.view.Clone(),
+		Ancestors: append(ids.ViewIDs{}, m2.ancestors...),
+	}}})
+	w.run(4 * time.Second)
+
+	// The survivors must shed the phantom and converge; p2 takes over
+	// coordination and keeps the mapping alive.
+	w.requireLWG("a", 2, 3)
+	if _, ok := w.eps[1].LWGView("a"); ok {
+		t.Error("phantom still has a view")
+	}
+	if !w.eps[2].IsLWGCoordinator("a") {
+		t.Error("p2 should take over coordination")
+	}
+	if got := w.servers[0].DB().Live("a"); len(got) != 1 {
+		t.Errorf("naming has %d live mappings, want 1:\n%s",
+			len(got), w.servers[0].DB().Dump())
+	}
+}

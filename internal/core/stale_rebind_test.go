@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"plwg/internal/ids"
+)
+
+// TestStaleRebindDoesNotCancelSwitch pins another bug flushed out by the
+// real-network fault sweeps (lwgcheck -rtnet): while a member is
+// switching HWGs, a re-sent or duplicated lwgView announcing the OLD
+// binding (same view ID, old HWG — e.g. the coordinator answering a late
+// join retry, or a fault-injected duplicate) used to satisfy the switch
+// re-binding guard and re-bind the member BACKWARDS. installView then
+// cancelled its switch, it stopped reporting readiness, and it wedged on
+// the old HWG while the rest of the group reconfigured on the target
+// (heal-convergence and mapping-agreement violations). Only the
+// announced switch target may re-bind a switching member.
+func TestStaleRebindDoesNotCancelSwitch(t *testing.T) {
+	w := newCWorld(t, 4, []ids.ProcessID{0}, testCfg())
+	for _, p := range []ids.ProcessID{1, 2} {
+		if err := w.eps[p].Join("a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.run(4 * time.Second)
+	w.requireLWG("a", 1, 2)
+	oldHwg, _ := w.eps[1].Mapping("a")
+	m1 := w.eps[1].lwgs["a"]
+	if m1 == nil || !m1.isCoordinator() {
+		t.Fatal("p1 (minimum member) should coordinate")
+	}
+	target := w.eps[1].allocHWGID()
+	m1.startSwitch(target, true)
+
+	// Step until the non-coordinator is mid-switch, then hand it a stale
+	// announcement of the old binding on the old HWG.
+	injected := false
+	for i := 0; i < 4000 && !injected; i++ {
+		w.run(time.Millisecond)
+		m2 := w.eps[2].lwgs["a"]
+		if m2 != nil && m2.state == lwgSwitching {
+			w.eps[2].onLwgView(w.eps[2].hwgState(oldHwg), &lwgView{
+				Rec: viewRecord{
+					LWG:       "a",
+					View:      m2.view.Clone(),
+					Ancestors: append(ids.ViewIDs{}, m2.ancestors...),
+				},
+				HWG: oldHwg,
+			})
+			injected = true
+		}
+	}
+	if !injected {
+		t.Fatal("never caught p2 in the switching state; test vacuous")
+	}
+	w.run(5 * time.Second)
+
+	_, hwg := w.requireLWG("a", 1, 2)
+	if hwg != target {
+		t.Fatalf("group settled on %v, want switch target %v\ntrace:\n%s",
+			hwg, target, w.tracer.Dump())
+	}
+}

@@ -1,0 +1,81 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"plwg/internal/ids"
+)
+
+func TestRTFaultsRoundTrip(t *testing.T) {
+	s := Random(3, smallCfg())
+	s.RTFaults = "loss=0.05,dup=0.05,reorder=0.1,delay=200us..2ms;3:block"
+	enc := Encode(s)
+	if !strings.Contains(enc, "rtfaults loss=0.05") {
+		t.Fatalf("rtfaults line missing:\n%s", enc)
+	}
+	got, err := Parse(enc)
+	if err != nil {
+		t.Fatalf("Parse(Encode(s)): %v\n%s", err, enc)
+	}
+	if got.RTFaults != s.RTFaults {
+		t.Fatalf("rtfaults round trip: %q vs %q", got.RTFaults, s.RTFaults)
+	}
+	if Encode(got) != enc {
+		t.Fatalf("round trip changed the schedule:\n%s\nvs\n%s", enc, Encode(got))
+	}
+}
+
+func TestRunRTRejectsBadFaultSpec(t *testing.T) {
+	s := Random(1, smallCfg())
+	s.RTFaults = "loss=2.5"
+	if _, err := RunRT(s, RTOptions{}); err == nil {
+		t.Fatal("RunRT accepted an out-of-range loss probability")
+	}
+	if _, err := SweepRT(1, 1, smallCfg(), RTOptions{Faults: "wibble"}, 1, nil); err == nil {
+		t.Fatal("SweepRT accepted an unknown fault item")
+	}
+}
+
+// TestRunRTSmoke runs one small hand-written schedule over real loopback
+// UDP with the default fault mix plus an asymmetric partition, and
+// expects a clean checker verdict. This is the explorer-side integration
+// pin for the rtnet runner; the broad sweep lives in CI
+// (lwgcheck -rtnet).
+func TestRunRTSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time run")
+	}
+	s := Schedule{
+		Seed:  42,
+		Nodes: 4,
+		LWGs:  []ids.LWGID{"a"},
+		Ops: []Op{
+			{Delay: 200 * time.Millisecond, Kind: OpJoin, P: 1, LWG: "a"},
+			{Delay: 200 * time.Millisecond, Kind: OpJoin, P: 2, LWG: "a"},
+			{Delay: 400 * time.Millisecond, Kind: OpSend, P: 1, LWG: "a"},
+			{Delay: 100 * time.Millisecond, Kind: OpPart, Cut: 2}, // one-way block
+			{Delay: 600 * time.Millisecond, Kind: OpSend, P: 2, LWG: "a"},
+			{Delay: 200 * time.Millisecond, Kind: OpHeal},
+			{Delay: 200 * time.Millisecond, Kind: OpSend, P: 1, LWG: "a"},
+		},
+		Quiesce:  30 * time.Second,
+		RTFaults: "loss=0.05,dup=0.05,reorder=0.1,delay=200us..2ms",
+	}
+	// Real op delays: the schedule's own (already real-time sized here).
+	// The quiesce override trims the default 30s tail: 2s stress + 10s
+	// clean is still comfortably past the naming TTL (3s) and the FD
+	// suspicion tolerance (~450ms).
+	r, err := RunRT(s, RTOptions{Scale: 1, Quiesce: 12 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failed() {
+		t.Fatalf("smoke schedule failed: completed=%v violations=%v",
+			r.Completed, r.Violations)
+	}
+	if len(r.World.Events) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+}

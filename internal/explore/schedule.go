@@ -91,6 +91,11 @@ type Schedule struct {
 	Quiesce time.Duration
 	// Fault optionally injects a delivery suppression (see Fault).
 	Fault Fault
+	// RTFaults is the fault spec (rtnet.ParseFaultSpec grammar) installed
+	// on every node when the schedule runs over the real UDP transport
+	// (RunRT). The simulated runner ignores it. Keeping it in the schedule
+	// makes real-network reproducers self-contained.
+	RTFaults string
 }
 
 // Servers returns the naming-server placement for the schedule.
@@ -196,6 +201,9 @@ func Encode(s Schedule) string {
 	}
 	fmt.Fprintf(&b, "lwgs %s\n", strings.Join(names, ","))
 	fmt.Fprintf(&b, "quiesce %v\n", s.Quiesce)
+	if s.RTFaults != "" {
+		fmt.Fprintf(&b, "rtfaults %s\n", s.RTFaults)
+	}
 	if s.Fault.Drop > 0 {
 		fmt.Fprintf(&b, "fault %d %d\n", s.Fault.Node, s.Fault.Drop)
 	}
@@ -260,6 +268,11 @@ func Parse(text string) (Schedule, error) {
 				return fail(err.Error())
 			}
 			s.Quiesce = d
+		case "rtfaults":
+			if len(fields) != 2 {
+				return fail("rtfaults wants one fault spec (no spaces)")
+			}
+			s.RTFaults = fields[1]
 		case "fault":
 			if len(fields) != 3 {
 				return fail("fault wants <node> <drop>")

@@ -135,8 +135,12 @@ func refsNode(s Schedule, p ids.ProcessID) bool {
 // Reproducer renders a failing schedule as a replay recipe: the encoded
 // schedule plus the commands that re-run it.
 func Reproducer(s Schedule) string {
+	mode := ""
+	if s.RTFaults != "" {
+		mode = "-rtnet "
+	}
 	return fmt.Sprintf(
-		"%s\n# replay: go run ./cmd/lwgcheck -replay <this file>\n"+
-			"# or:     go run ./cmd/lwgcheck -seeds 1 -start %d -nodes %d -ops %d\n",
-		Encode(s), s.Seed, s.Nodes, len(s.Ops))
+		"%s\n# replay: go run ./cmd/lwgcheck %s-replay <this file>\n"+
+			"# or:     go run ./cmd/lwgcheck %s-seeds 1 -start %d -nodes %d -ops %d\n",
+		Encode(s), mode, mode, s.Seed, s.Nodes, len(s.Ops))
 }

@@ -1,6 +1,8 @@
 package naming
 
 import (
+	"time"
+
 	"plwg/internal/ids"
 	"plwg/internal/netsim"
 	"plwg/internal/sim"
@@ -10,9 +12,13 @@ import (
 // configured servers in order; a server that does not answer within
 // RequestTimeout (crashed, or in another partition) is skipped and the
 // next one is tried — "there is a high probability of having at least one
-// server available at each partition" (Section 5.2). If no server
-// answers, the operation completes with ok == false and the caller
-// retries at its own pace.
+// server available at each partition" (Section 5.2). After a full
+// unanswered pass over the server list the client pauses for a jittered,
+// exponentially-growing backoff (RetryBackoff doubling up to
+// RetryBackoffMax) and sweeps the list again; only after RetryRounds
+// such passes does the operation complete with ok == false and leave
+// further retries to the caller. Under transient loss or a short
+// partition this rides out the outage instead of failing eagerly.
 //
 // All operations are asynchronous: the simulation is single-threaded, so
 // results arrive through callbacks.
@@ -28,11 +34,16 @@ type Client struct {
 }
 
 type pendingReq struct {
-	req    *msgRequest
-	cb     func([]Entry, bool)
-	tried  int
-	sIndex int
-	timer  *sim.Timer
+	req     *msgRequest
+	cb      func([]Entry, bool)
+	tried   int // servers tried in the current round
+	sIndex  int
+	rounds  int           // full passes over the server list so far
+	backoff time.Duration // pause before the next round (grows per round)
+	// timer is the single outstanding clock entry for this request —
+	// either a per-attempt timeout or an inter-round backoff sleep. It is
+	// stopped when the reply lands so no dead timer stays queued.
+	timer *sim.Timer
 }
 
 // ClientParams bundles the dependencies of a Client.
@@ -69,6 +80,7 @@ func (c *Client) HandleMessage(_ netsim.NodeID, _ netsim.Addr, msg netsim.Messag
 	delete(c.pending, r.ReqID)
 	if p.timer != nil {
 		p.timer.Stop()
+		p.timer = nil
 	}
 	p.cb(r.Entries, true)
 }
@@ -161,7 +173,11 @@ func (c *Client) issue(req *msgRequest, cb func([]Entry, bool)) {
 	req.From = c.pid
 	// Start at the server "closest" to this process (deterministic
 	// spread: indexed by pid) so load distributes across replicas.
-	p := &pendingReq{req: req, cb: cb, sIndex: int(c.pid) % len(c.servers)}
+	p := &pendingReq{
+		req: req, cb: cb,
+		sIndex:  int(c.pid) % len(c.servers),
+		backoff: c.cfg.RetryBackoff,
+	}
 	c.pending[req.ReqID] = p
 	c.sendAttempt(p)
 }
@@ -175,11 +191,35 @@ func (c *Client) sendAttempt(p *pendingReq) {
 		}
 		p.tried++
 		p.sIndex++
-		if p.tried >= len(c.servers) {
+		if p.tried < len(c.servers) {
+			c.sendAttempt(p)
+			return
+		}
+		// A full pass over the server list went unanswered.
+		p.tried = 0
+		p.rounds++
+		if p.rounds >= c.cfg.RetryRounds {
 			delete(c.pending, p.req.ReqID)
+			p.timer = nil
 			p.cb(nil, false)
 			return
 		}
-		c.sendAttempt(p)
+		// Back off before the next pass: exponential with jitter (up to
+		// +50%) so a herd of clients re-converging after a heal does not
+		// resweep the servers in lockstep.
+		pause := p.backoff
+		if jit := int64(pause / 2); jit > 0 {
+			pause += time.Duration(c.clock.Rand().Int63n(jit))
+		}
+		p.backoff *= 2
+		if p.backoff > c.cfg.RetryBackoffMax {
+			p.backoff = c.cfg.RetryBackoffMax
+		}
+		p.timer = c.clock.After(pause, func() {
+			if _, live := c.pending[p.req.ReqID]; !live {
+				return
+			}
+			c.sendAttempt(p)
+		})
 	})
 }

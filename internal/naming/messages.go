@@ -139,15 +139,28 @@ type Config struct {
 	// crashed). Zero disables expiry. Coordinators refresh on
 	// core.Config.MappingRefreshInterval, which must be well below this.
 	MappingTTL time.Duration
+	// RetryBackoff is the pause after one full unanswered pass over the
+	// server list before the client starts the next pass. It doubles per
+	// round (with jitter) up to RetryBackoffMax.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential backoff.
+	RetryBackoffMax time.Duration
+	// RetryRounds is how many full passes over the server list a request
+	// survives before it completes with ok == false. Under sustained
+	// loss a single pass (the old behavior) fails far too eagerly.
+	RetryRounds int
 }
 
 // DefaultConfig returns timers sized for the simulated testbed.
 func DefaultConfig() Config {
 	return Config{
-		RequestTimeout: 150 * time.Millisecond,
-		SyncInterval:   300 * time.Millisecond,
-		NotifyInterval: 500 * time.Millisecond,
-		MappingTTL:     60 * time.Second,
+		RequestTimeout:  150 * time.Millisecond,
+		SyncInterval:    300 * time.Millisecond,
+		NotifyInterval:  500 * time.Millisecond,
+		MappingTTL:      60 * time.Second,
+		RetryBackoff:    200 * time.Millisecond,
+		RetryBackoffMax: 3 * time.Second,
+		RetryRounds:     4,
 	}
 }
 
@@ -167,6 +180,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MappingTTL < 0 {
 		c.MappingTTL = 0 // explicit "disabled"
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = d.RetryBackoff
+	}
+	if c.RetryBackoffMax < c.RetryBackoff {
+		c.RetryBackoffMax = d.RetryBackoffMax
+		if c.RetryBackoffMax < c.RetryBackoff {
+			c.RetryBackoffMax = c.RetryBackoff
+		}
+	}
+	if c.RetryRounds == 0 {
+		c.RetryRounds = d.RetryRounds
+	}
+	if c.RetryRounds < 1 {
+		c.RetryRounds = 1 // a negative value means "single pass"
 	}
 	return c
 }

@@ -135,7 +135,9 @@ func TestAllServersUnreachable(t *testing.T) {
 	w.nw.Crash(1)
 	done, ok := false, true
 	w.clients[2].Read("a", func(_ ids.HWGID, o bool) { done, ok = true, o })
-	w.s.RunFor(2 * time.Second)
+	// The client now retries with backoff for several rounds before
+	// giving up, so allow the full retry budget to elapse.
+	w.s.RunFor(10 * time.Second)
 	if !done {
 		t.Fatal("request never completed")
 	}

@@ -70,11 +70,21 @@ func fragment(msgID uint64, data []byte) [][]byte {
 // reassembler rebuilds envelopes from chunks (single-goroutine: the UDP
 // read loop).
 type reassembler struct {
-	bufs map[fragKey]*fragBuf
+	bufs   map[fragKey]*fragBuf
+	now    func() time.Time // injectable for GC tests
+	lastGC time.Time
 }
 
 func newReassembler() *reassembler {
-	return &reassembler{bufs: make(map[fragKey]*fragBuf)}
+	return newReassemblerClock(time.Now)
+}
+
+func newReassemblerClock(now func() time.Time) *reassembler {
+	return &reassembler{
+		bufs:   make(map[fragKey]*fragBuf),
+		now:    now,
+		lastGC: now(),
+	}
 }
 
 // add consumes one datagram and returns the completed envelope bytes
@@ -98,12 +108,12 @@ func (r *reassembler) add(from string, datagram []byte) ([]byte, error) {
 	k := fragKey{from: from, msgID: msgID}
 	b := r.bufs[k]
 	if b == nil {
-		b = &fragBuf{chunks: make([][]byte, total), started: time.Now()}
+		b = &fragBuf{chunks: make([][]byte, total), started: r.now()}
 		r.bufs[k] = b
 	}
 	if len(b.chunks) != total {
 		// Conflicting totals: restart the buffer.
-		b = &fragBuf{chunks: make([][]byte, total), started: time.Now()}
+		b = &fragBuf{chunks: make([][]byte, total), started: r.now()}
 		r.bufs[k] = b
 	}
 	if b.chunks[idx] == nil {
@@ -122,12 +132,17 @@ func (r *reassembler) add(from string, datagram []byte) ([]byte, error) {
 	return out, nil
 }
 
-// gc abandons stale reassemblies.
+// gc abandons stale reassemblies. Under memory pressure (many buffers
+// outstanding) it sweeps on every call; otherwise it still sweeps once
+// per fragTimeout so a handful of abandoned partials on a long-running
+// node is reclaimed instead of living forever.
 func (r *reassembler) gc() {
-	if len(r.bufs) < 64 {
+	now := r.now()
+	if len(r.bufs) < 64 && now.Sub(r.lastGC) < fragTimeout {
 		return
 	}
-	cutoff := time.Now().Add(-fragTimeout)
+	r.lastGC = now
+	cutoff := now.Add(-fragTimeout)
 	for k, b := range r.bufs {
 		if b.started.Before(cutoff) {
 			delete(r.bufs, k)

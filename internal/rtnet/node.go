@@ -76,6 +76,9 @@ func Listen(cfg NodeConfig) (*Node, error) {
 		tr:  NewTransport(d, cfg.PID, conn, nil),
 		mux: netsim.NewMux(),
 	}
+	// Fault decisions derive from the node seed (offset so they are not
+	// correlated with the protocol engine's own randomness).
+	n.tr.SeedFaults(cfg.Seed ^ 0x5bd1e995)
 	return n, nil
 }
 
@@ -155,6 +158,45 @@ func (n *Node) Block(peers ...ids.ProcessID) {
 // Unblock lifts all partition rules at this node.
 func (n *Node) Unblock() {
 	n.d.Call(func() { n.tr.Unblock() })
+}
+
+// SetFaults parses a fault spec (see ParseFaultSpec for the grammar) and
+// installs it on this node's transport, replacing any previous rules.
+// Safe from any goroutine, at any time after Listen.
+func (n *Node) SetFaults(spec string) error {
+	fs, err := ParseFaultSpec(spec)
+	if err != nil {
+		return err
+	}
+	n.tr.SetFaultSpec(fs)
+	return nil
+}
+
+// SetFaultSpec installs a parsed fault configuration (nil clears all
+// rules). Safe from any goroutine.
+func (n *Node) SetFaultSpec(fs *FaultSpec) { n.tr.SetFaultSpec(fs) }
+
+// SetLinkFault overrides the fault rule on the directed link to one peer
+// (nil removes the override). Safe from any goroutine.
+func (n *Node) SetLinkFault(to ids.ProcessID, r *FaultRule) { n.tr.SetLinkFault(to, r) }
+
+// ClearFaults removes every fault rule. Safe from any goroutine.
+func (n *Node) ClearFaults() { n.tr.SetFaultSpec(nil) }
+
+// NamingDBSnapshot returns a copy of this node's naming-server database,
+// or nil when the node hosts no server. The copy is taken on the protocol
+// loop, so it is a consistent point-in-time snapshot that the caller may
+// read from any goroutine afterwards.
+func (n *Node) NamingDBSnapshot() *naming.DB {
+	var db *naming.DB
+	n.d.Call(func() {
+		if n.srv == nil {
+			return
+		}
+		db = naming.NewDB()
+		db.Merge(n.srv.DB().All())
+	})
+	return db
 }
 
 // Close stops the protocol loop and the transport.

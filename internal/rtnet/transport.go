@@ -55,6 +55,10 @@ type Transport struct {
 	// (loop-confined).
 	nextMsgID uint64
 
+	// faults injects per-link loss/dup/reorder/delay/one-way-block on
+	// the send path. Mutable from any goroutine (see faults.go).
+	faults *faultTable
+
 	closeOnce sync.Once
 	closed    chan struct{}
 	readerWG  sync.WaitGroup
@@ -73,6 +77,7 @@ func NewTransport(d *Driver, pid ids.ProcessID, conn *net.UDPConn, peers map[ids
 		peers:   make(map[ids.ProcessID]*net.UDPAddr, len(peers)),
 		subs:    make(map[netsim.Addr]bool),
 		blocked: make(map[ids.ProcessID]bool),
+		faults:  newFaultTable(1),
 		closed:  make(chan struct{}),
 	}
 	for p, a := range peers {
@@ -140,6 +145,58 @@ func (t *Transport) Unblock() {
 	t.blocked = make(map[ids.ProcessID]bool)
 }
 
+// SeedFaults reseeds the fault-injection RNG; decisions are a pure
+// function of the seed and the outgoing datagram sequence. Safe from
+// any goroutine.
+func (t *Transport) SeedFaults(seed int64) { t.faults.reseed(seed) }
+
+// SetFaultSpec replaces the whole fault configuration (nil clears all
+// rules). Safe from any goroutine, including while traffic flows.
+func (t *Transport) SetFaultSpec(fs *FaultSpec) { t.faults.install(fs) }
+
+// SetDefaultFault sets the rule applied to every link without an
+// explicit override (nil restores a clean default). Safe from any
+// goroutine.
+func (t *Transport) SetDefaultFault(r *FaultRule) { t.faults.setDefault(r) }
+
+// SetLinkFault overrides the rule for the directed link to one peer
+// (nil removes the override, falling back to the default rule). Safe
+// from any goroutine.
+func (t *Transport) SetLinkFault(to ids.ProcessID, r *FaultRule) { t.faults.setLink(to, r) }
+
+// sendChunks pushes the datagrams of one message to one peer through
+// the fault table: drop, duplicate, or delay each chunk as the link's
+// rule dictates. Must be called on the driver loop (delayed copies are
+// scheduled on the driver's clock; the writes themselves may then fire
+// from timer callbacks, which is fine — *net.UDPConn writes are
+// thread-safe).
+func (t *Transport) sendChunks(to ids.ProcessID, addr *net.UDPAddr, chunks [][]byte) {
+	for _, c := range chunks {
+		send, delays := t.faults.plan(to)
+		if !send {
+			continue
+		}
+		if delays == nil {
+			_, _ = t.conn.WriteToUDP(c, addr)
+			continue
+		}
+		for _, d := range delays {
+			if d <= 0 {
+				_, _ = t.conn.WriteToUDP(c, addr)
+				continue
+			}
+			c := c
+			t.d.Sim().After(d, func() {
+				select {
+				case <-t.closed:
+				default:
+					_, _ = t.conn.WriteToUDP(c, addr)
+				}
+			})
+		}
+	}
+}
+
 // Multicast implements netsim.Transport: fan out to every peer and loop
 // back locally if subscribed. Must be called on the driver loop.
 func (t *Transport) Multicast(from netsim.NodeID, addr netsim.Addr, msg netsim.Message) {
@@ -157,9 +214,7 @@ func (t *Transport) Multicast(from netsim.NodeID, addr netsim.Addr, msg netsim.M
 		if t.blocked[p] {
 			continue
 		}
-		for _, c := range chunks {
-			_, _ = t.conn.WriteToUDP(c, t.peers[p])
-		}
+		t.sendChunks(p, t.peers[p], chunks)
 	}
 	if t.subs[addr] {
 		// Local delivery stays asynchronous, like a looped-back packet.
@@ -195,9 +250,7 @@ func (t *Transport) Unicast(from, to netsim.NodeID, addr netsim.Addr, msg netsim
 	t.nextMsgID++
 	chunks := fragment(t.nextMsgID, buf.B)
 	buf.Release()
-	for _, c := range chunks {
-		_, _ = t.conn.WriteToUDP(c, peer)
-	}
+	t.sendChunks(to, peer, chunks)
 }
 
 func (t *Transport) readLoop() {

@@ -6,6 +6,7 @@ package trace
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"plwg/internal/ids"
 	"plwg/internal/sim"
@@ -108,6 +109,33 @@ func (r *Recorder) Dump() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// SyncRecorder is a Recorder that is safe for concurrent use. Real-network
+// runs (internal/rtnet) trace from one protocol goroutine per node, so a
+// shared recorder must serialise appends. Per-node event order is
+// preserved (each node traces from a single goroutine); the interleaving
+// across nodes is whatever the lock order happened to be, which is all
+// the invariant checker relies on.
+type SyncRecorder struct {
+	mu  sync.Mutex
+	rec Recorder
+}
+
+var _ Tracer = (*SyncRecorder)(nil)
+
+// Trace implements Tracer.
+func (r *SyncRecorder) Trace(e Event) {
+	r.mu.Lock()
+	r.rec.Trace(e)
+	r.mu.Unlock()
+}
+
+// Snapshot returns a copy of the events recorded so far.
+func (r *SyncRecorder) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.rec.Events...)
 }
 
 // Func adapts a function to the Tracer interface.

@@ -50,6 +50,13 @@ type Config struct {
 	FDTimeout time.Duration
 	// FDCheckInterval is the period of the suspicion check.
 	FDCheckInterval time.Duration
+	// FDSuspectMisses is how many consecutive suspicion checks must see
+	// the peer silent past FDTimeout before it is suspected. One silent
+	// check can be a delay spike (scheduling hiccup, injected jitter, a
+	// burst of loss); demanding several in a row keeps spikes shorter
+	// than FDTimeout + (FDSuspectMisses-1)*FDCheckInterval from forcing
+	// a spurious view change.
+	FDSuspectMisses int
 	// PresenceInterval is the period of the coordinator's presence
 	// announcement, used for peer discovery when partitions heal.
 	PresenceInterval time.Duration
@@ -92,6 +99,7 @@ func DefaultConfig() Config {
 		HeartbeatInterval: 100 * time.Millisecond,
 		FDTimeout:         350 * time.Millisecond,
 		FDCheckInterval:   50 * time.Millisecond,
+		FDSuspectMisses:   3,
 		PresenceInterval:  250 * time.Millisecond,
 		JoinRetryInterval: 150 * time.Millisecond,
 		JoinTimeout:       400 * time.Millisecond,
@@ -116,6 +124,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FDCheckInterval <= 0 {
 		c.FDCheckInterval = d.FDCheckInterval
+	}
+	if c.FDSuspectMisses <= 0 {
+		c.FDSuspectMisses = d.FDSuspectMisses
 	}
 	if c.PresenceInterval <= 0 {
 		c.PresenceInterval = d.PresenceInterval

@@ -1,0 +1,98 @@
+package vsync
+
+import (
+	"testing"
+	"time"
+
+	"plwg/internal/ids"
+	"plwg/internal/netsim"
+)
+
+// fdCfg pins the failure-detector timers so the tests can reason about
+// the suspicion deadline exactly: silence is tolerated up to
+// FDTimeout + (FDSuspectMisses-1)*FDCheckInterval = 350 + 100 ms. The
+// heartbeat period is kept small so the phase of the last heartbeat
+// before a spike adds at most 25ms of extra observed silence.
+func fdCfg() Config {
+	c := autoCfg()
+	c.HeartbeatInterval = 25 * time.Millisecond
+	c.FDTimeout = 350 * time.Millisecond
+	c.FDCheckInterval = 50 * time.Millisecond
+	c.FDSuspectMisses = 3
+	return c
+}
+
+// TestFDToleratesDelaySpike: a silence spike longer than FDTimeout but
+// shorter than the strike budget must NOT change the view. Under the old
+// single-comparison detector the first check past FDTimeout suspected
+// the peer and forced a spurious reconfiguration.
+func TestFDToleratesDelaySpike(t *testing.T) {
+	w := newWorld(t, 3, fdCfg())
+	for i := 0; i < 3; i++ {
+		if err := w.stacks[ids.ProcessID(i)].Join(g1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.run(4 * time.Second)
+	before := w.requireSameView(g1, 0, 1, 2)
+
+	// 380ms of total silence: past FDTimeout (so the old detector
+	// suspects), but only 1–2 suspicion checks deep — under the
+	// 3-strike budget.
+	w.nw.SetPartitions([]netsim.NodeID{0}, []netsim.NodeID{1, 2})
+	w.run(380 * time.Millisecond)
+	w.nw.Heal()
+	w.run(3 * time.Second)
+
+	after := w.requireSameView(g1, 0, 1, 2)
+	if after.ID != before.ID {
+		t.Fatalf("delay spike forced a view change: %v -> %v", before.ID, after.ID)
+	}
+	checkViewSynchrony(t, w, g1)
+}
+
+// TestFDStillDetectsSustainedSilence: the strike budget must delay
+// suspicion, not disable it — a genuinely dead member is still excluded.
+func TestFDStillDetectsSustainedSilence(t *testing.T) {
+	w := newWorld(t, 3, fdCfg())
+	for i := 0; i < 3; i++ {
+		if err := w.stacks[ids.ProcessID(i)].Join(g1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.run(4 * time.Second)
+	w.requireSameView(g1, 0, 1, 2)
+
+	w.nw.Crash(2)
+	w.run(3 * time.Second)
+	v := w.requireSameView(g1, 0, 1)
+	if v.Members.Contains(2) {
+		t.Fatalf("crashed member still in view %v", v)
+	}
+	checkViewSynchrony(t, w, g1)
+}
+
+// TestFDStrikesResetOnHeartbeat: strikes accumulated during a spike are
+// cleared once the peer is heard again, so two separate sub-budget
+// spikes do not add up to a suspicion.
+func TestFDStrikesResetOnHeartbeat(t *testing.T) {
+	w := newWorld(t, 2, fdCfg())
+	for i := 0; i < 2; i++ {
+		if err := w.stacks[ids.ProcessID(i)].Join(g1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.run(3 * time.Second)
+	before := w.requireSameView(g1, 0, 1)
+
+	for spike := 0; spike < 3; spike++ {
+		w.nw.SetPartitions([]netsim.NodeID{0}, []netsim.NodeID{1})
+		w.run(380 * time.Millisecond)
+		w.nw.Heal()
+		w.run(time.Second) // heartbeats resume, strikes reset
+	}
+	after := w.requireSameView(g1, 0, 1)
+	if after.ID != before.ID {
+		t.Fatalf("repeated sub-budget spikes forced a view change: %v -> %v", before.ID, after.ID)
+	}
+}

@@ -70,8 +70,11 @@ type member struct {
 	// ordCounter is the coordinator's token allocator.
 	ordCounter uint64
 
-	// Failure detection.
+	// Failure detection. Suspicion needs FDSuspectMisses consecutive
+	// checks past FDTimeout (fdStrikes counts them), so a single delay
+	// spike does not trigger a view change.
 	lastHeard map[ids.ProcessID]sim.Time
+	fdStrikes map[ids.ProcessID]int
 	suspects  map[ids.ProcessID]bool
 
 	// Flush participation (responder side).
@@ -592,6 +595,9 @@ func (m *member) heard(p ids.ProcessID) {
 	if m.lastHeard != nil {
 		m.lastHeard[p] = m.st.clock.Now()
 	}
+	if m.fdStrikes != nil {
+		delete(m.fdStrikes, p)
+	}
 }
 
 // onHeartbeat refreshes the failure detector only for peers that share
@@ -627,11 +633,18 @@ func (m *member) checkFailures() {
 		if p == m.st.pid || m.suspects[p] {
 			continue
 		}
-		if now.Sub(m.lastHeard[p]) > m.st.cfg.FDTimeout {
-			m.suspects[p] = true
-			changed = true
-			m.st.trace(m.gid, "suspect", "%v", p)
+		if now.Sub(m.lastHeard[p]) <= m.st.cfg.FDTimeout {
+			delete(m.fdStrikes, p)
+			continue
 		}
+		m.fdStrikes[p]++
+		if m.fdStrikes[p] < m.st.cfg.FDSuspectMisses {
+			continue
+		}
+		delete(m.fdStrikes, p)
+		m.suspects[p] = true
+		changed = true
+		m.st.trace(m.gid, "suspect", "%v", p)
 	}
 	if !changed && len(m.suspects) == 0 {
 		return
@@ -802,6 +815,7 @@ func (m *member) install(v ids.View) {
 	for _, p := range v.Members {
 		m.lastHeard[p] = now
 	}
+	m.fdStrikes = make(map[ids.ProcessID]int)
 	m.suspects = make(map[ids.ProcessID]bool)
 	for p := range m.pendingJoiners {
 		if v.Contains(p) {
