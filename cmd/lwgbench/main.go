@@ -4,21 +4,29 @@
 // service — on the simulated 10 Mbps shared Ethernet and measures
 // data-transfer latency, throughput and crash-recovery time.
 //
+// It also runs the fig-scale sweep: the naming service's anti-entropy
+// cost as the number of light-weight groups grows, comparing the
+// digest/delta protocol against the full-database push baseline.
+//
 // Usage:
 //
-//	lwgbench -experiment fig2-latency|fig2-throughput|fig2-recovery|all
-//	         [-ns 1,2,4,8,16,32] [-seed 1] [-measure 5s]
-//	         [-json BENCH_plwg.json]
+//	lwgbench -experiment fig2-latency|fig2-throughput|fig2-recovery|fig-scale|all
+//	         [-ns 1,2,4,8,16,32] [-groups 64,256,1024,4096]
+//	         [-seed 1] [-measure 5s] [-json BENCH_plwg.json]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -json, the full sweep plus the codec microbenchmarks run and the
 // results are written as a flat machine-readable record list, the
-// committed perf baseline future PRs diff against.
+// committed perf baseline future PRs diff against. The profile flags
+// write pprof data for the run (the memory profile is taken at exit).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -37,11 +45,15 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("lwgbench", flag.ContinueOnError)
 	experiment := fs.String("experiment", "all",
-		"fig2-latency | fig2-throughput | fig2-recovery | all")
+		"fig2-latency | fig2-throughput | fig2-recovery | fig-scale | all")
 	nsFlag := fs.String("ns", "1,2,4,8,16,32", "comma-separated groups-per-set sweep")
+	groupsFlag := fs.String("groups", "64,256,1024,4096",
+		"comma-separated LWG-count sweep for fig-scale")
 	seed := fs.Int64("seed", 1, "simulation seed (runs are deterministic per seed)")
 	measure := fs.Duration("measure", 5*time.Second, "virtual measurement window")
 	jsonPath := fs.String("json", "", "write machine-readable results to this file and exit")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,11 +61,41 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
+	groups, err := parseNs(*groupsFlag)
+	if err != nil {
+		return err
+	}
 	d := bench.DefaultDurations()
 	d.Measure = *measure
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lwgbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lwgbench: memprofile:", err)
+			}
+		}()
+	}
+
 	if *jsonPath != "" {
-		return writeJSON(*jsonPath, ns, *seed, d, out)
+		return writeJSON(*jsonPath, ns, groups, *seed, d, out)
 	}
 
 	fmt.Fprintf(out, "plwg evaluation — %d-node simulated 10 Mbps shared Ethernet, seed %d\n",
@@ -68,23 +110,30 @@ func run(args []string, out *os.File) error {
 		bench.Figure2Throughput(out, ns, *seed, d)
 	case "fig2-recovery":
 		bench.Figure2Recovery(out, ns, *seed, d)
+	case "fig-scale":
+		bench.FigScale(out, groups, *seed, d)
 	case "all":
 		bench.Figure2Latency(out, ns, *seed, d)
 		fmt.Fprintln(out)
 		bench.Figure2Throughput(out, ns, *seed, d)
 		fmt.Fprintln(out)
 		bench.Figure2Recovery(out, ns, *seed, d)
+		fmt.Fprintln(out)
+		bench.FigScale(out, groups, *seed, d)
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
 	return nil
 }
 
-// writeJSON runs the Figure 2 sweep plus the codec microbenchmarks and
-// writes the flat record list (mode × metric × value).
-func writeJSON(path string, ns []int, seed int64, d bench.Durations, out *os.File) error {
-	fmt.Fprintf(out, "writing %s (sweep %v, seed %d, measure %v)\n", path, ns, seed, d.Measure)
+// writeJSON runs the Figure 2 and fig-scale sweeps plus the codec
+// microbenchmarks and writes the flat record list (mode × metric ×
+// value).
+func writeJSON(path string, ns, groups []int, seed int64, d bench.Durations, out *os.File) error {
+	fmt.Fprintf(out, "writing %s (sweep %v, groups %v, seed %d, measure %v)\n",
+		path, ns, groups, seed, d.Measure)
 	recs := bench.Figure2Records(out, ns, seed, d)
+	recs = append(recs, bench.FigScaleRecords(out, groups, seed, d)...)
 	fmt.Fprintln(out, "  codec microbenchmarks...")
 	for _, s := range vsync.CodecBenchStats() {
 		parts := strings.SplitN(s.Name, "-", 2) // "encode-wire" -> op, codec

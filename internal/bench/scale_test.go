@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func scaleTestDurations() Durations {
+	return Durations{
+		SetupMax:    30 * time.Second,
+		Measure:     3 * time.Second,
+		RecoveryMax: 30 * time.Second,
+	}
+}
+
+func TestRunScaleBothProtocolsConverge(t *testing.T) {
+	d := scaleTestDurations()
+	full := RunScale(true, 64, 1, d)
+	delta := RunScale(false, 64, 1, d)
+	if !full.Converged {
+		t.Fatalf("full-push did not converge: %+v", full)
+	}
+	if !delta.Converged {
+		t.Fatalf("digest/delta did not converge: %+v", delta)
+	}
+	if full.SyncBytesPerRound <= 0 || delta.SyncBytesPerRound <= 0 {
+		t.Fatalf("missing traffic accounting: full %+v delta %+v", full, delta)
+	}
+	// The acceptance bar is >= 10x at 1024 groups; even at 64 the digest
+	// protocol must clear it comfortably in the quiescent steady state.
+	if ratio := full.SyncBytesPerRound / delta.SyncBytesPerRound; ratio < 10 {
+		t.Fatalf("steady-state reduction %.1fx < 10x (full %.0f B/round, delta %.1f B/round)",
+			ratio, full.SyncBytesPerRound, delta.SyncBytesPerRound)
+	}
+	// Post-heal convergence must not regress materially vs the baseline.
+	if delta.HealMs > 2*full.HealMs+1000 {
+		t.Fatalf("digest heal %.0fms much worse than full-push %.0fms", delta.HealMs, full.HealMs)
+	}
+}
+
+func TestRunScaleDeterministic(t *testing.T) {
+	d := scaleTestDurations()
+	a := RunScale(false, 48, 7, d)
+	b := RunScale(false, 48, 7, d)
+	// Wall-clock differs run to run; the modeled metrics must not.
+	a.SteadyWallMs, b.SteadyWallMs = 0, 0
+	if a != b {
+		t.Fatalf("fig-scale not deterministic:\n a: %+v\n b: %+v", a, b)
+	}
+}
+
+func TestFigScaleRenders(t *testing.T) {
+	var b strings.Builder
+	FigScale(&b, []int{16}, 1, scaleTestDurations())
+	out := b.String()
+	if !strings.Contains(out, "fig-scale") || !strings.Contains(out, "16") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestFigScaleRecords(t *testing.T) {
+	var b strings.Builder
+	recs := FigScaleRecords(&b, []int{16}, 1, scaleTestDurations())
+	if len(recs) == 0 {
+		t.Fatal("no records")
+	}
+	seen := make(map[string]bool)
+	for _, r := range recs {
+		if r.Experiment != "fig-scale" || r.N != 16 {
+			t.Fatalf("bad record %+v", r)
+		}
+		seen[r.Mode+"/"+r.Metric] = true
+	}
+	for _, want := range []string{
+		"full-push/sync_bytes_per_round",
+		"digest-delta/sync_bytes_per_round",
+		"digest-delta/heal_ms",
+	} {
+		if !seen[want] {
+			t.Fatalf("missing record %s in %v", want, recs)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is a set of named monotonic int64 counters. The zero value is
+// ready to use. It is not safe for concurrent use; callers on the
+// simulated event loop need no locking.
+type Counters struct {
+	m map[string]int64
+}
+
+// Add increments the named counter by delta (which may be negative).
+func (c *Counters) Add(name string, delta int64) {
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += delta
+}
+
+// Get returns the named counter's value (zero when never incremented).
+func (c *Counters) Get(name string) int64 { return c.m[name] }
+
+// Names returns the counter names in sorted order.
+func (c *Counters) Names() []string {
+	out := make([]string, 0, len(c.m))
+	for name := range c.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a copy of the counter values.
+func (c *Counters) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(c.m))
+	for name, v := range c.m {
+		out[name] = v
+	}
+	return out
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() { c.m = nil }
+
+// String renders "name=value" pairs in sorted order.
+func (c *Counters) String() string {
+	parts := make([]string, 0, len(c.m))
+	for _, name := range c.Names() {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, c.m[name]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,164 @@
+package naming
+
+import (
+	"plwg/internal/ids"
+	"plwg/internal/wire"
+)
+
+// Binary-codec support (internal/wire) for the digest/delta anti-entropy
+// messages — the naming traffic that recurs every sync round on the real
+// transport. The request/reply and legacy full-sync messages are rare or
+// fallback-only and stay on gob. Identifiers 32–47 are reserved for this
+// package.
+
+const (
+	wireMsgDigest byte = iota + 32
+	wireMsgDelta
+)
+
+func putNamingViewID(b *wire.Buffer, v ids.ViewID) {
+	b.Int64(int64(v.Coord))
+	b.Uint64(v.Seq)
+}
+
+func getNamingViewID(r *wire.Reader) ids.ViewID {
+	return ids.ViewID{Coord: ids.ProcessID(r.Int64()), Seq: r.Uint64()}
+}
+
+func putEntry(b *wire.Buffer, e *Entry) {
+	b.String(string(e.LWG))
+	putNamingViewID(b, e.View)
+	b.Uint64(uint64(len(e.Ancestors)))
+	for _, a := range e.Ancestors {
+		putNamingViewID(b, a)
+	}
+	b.Int64(int64(e.HWG))
+	putNamingViewID(b, e.HWGView)
+	b.Uint64(e.Ver)
+	b.Int64(e.Refreshed)
+	b.Bool(e.Deleted)
+}
+
+func getEntry(r *wire.Reader) Entry {
+	var e Entry
+	e.LWG = ids.LWGID(r.String())
+	e.View = getNamingViewID(r)
+	n := r.Uint64()
+	if n > uint64(r.Len()) { // each ancestor takes ≥ 2 bytes
+		r.Bytes() // force the sticky error via an oversized read
+		return e
+	}
+	if n > 0 && r.Err() == nil {
+		e.Ancestors = make(ids.ViewIDs, 0, n)
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			e.Ancestors = append(e.Ancestors, getNamingViewID(r))
+		}
+	}
+	e.HWG = ids.HWGID(r.Int64())
+	e.HWGView = getNamingViewID(r)
+	e.Ver = r.Uint64()
+	e.Refreshed = r.Int64()
+	e.Deleted = r.Bool()
+	return e
+}
+
+// WireID implements wire.Marshaler.
+func (m *msgDigest) WireID() byte { return wireMsgDigest }
+
+// MarshalWire implements wire.Marshaler.
+func (m *msgDigest) MarshalWire(b *wire.Buffer) bool {
+	b.Int64(int64(m.From))
+	b.Byte(m.Version)
+	b.Uint64(m.Gen)
+	b.Uint64(m.DBHash)
+	b.Bool(m.Reply)
+	b.Uint64(uint64(len(m.Digests)))
+	for _, d := range m.Digests {
+		b.String(string(d.LWG))
+		b.Uint64(uint64(d.D.Count))
+		b.Uint64(d.D.MaxVer)
+		b.Uint64(d.D.Hash)
+	}
+	return true
+}
+
+// WireID implements wire.Marshaler.
+func (m *msgDelta) WireID() byte { return wireMsgDelta }
+
+// MarshalWire implements wire.Marshaler.
+func (m *msgDelta) MarshalWire(b *wire.Buffer) bool {
+	b.Int64(int64(m.From))
+	b.Bool(m.Reply)
+	b.Uint64(uint64(len(m.Groups)))
+	for i := range m.Groups {
+		g := &m.Groups[i]
+		b.String(string(g.LWG))
+		b.Uint64(uint64(g.D.Count))
+		b.Uint64(g.D.MaxVer)
+		b.Uint64(g.D.Hash)
+		b.Uint64(uint64(len(g.Entries)))
+		for j := range g.Entries {
+			putEntry(b, &g.Entries[j])
+		}
+	}
+	return true
+}
+
+func registerCodecs() {
+	wire.Register(wireMsgDigest, func(r *wire.Reader) (wire.Marshaler, error) {
+		m := &msgDigest{From: ids.ProcessID(r.Int64())}
+		m.Version = r.Byte()
+		m.Gen = r.Uint64()
+		m.DBHash = r.Uint64()
+		m.Reply = r.Bool()
+		n := r.Uint64()
+		if n > uint64(r.Len()) { // each element takes ≥ 4 bytes
+			return nil, wire.ErrTruncated
+		}
+		if n > 0 && r.Err() == nil {
+			m.Digests = make([]LWGDigest, 0, n)
+			for i := uint64(0); i < n && r.Err() == nil; i++ {
+				d := LWGDigest{LWG: ids.LWGID(r.String())}
+				d.D.Count = uint32(r.Uint64())
+				d.D.MaxVer = r.Uint64()
+				d.D.Hash = r.Uint64()
+				m.Digests = append(m.Digests, d)
+			}
+		}
+		return m, r.Err()
+	})
+	wire.Register(wireMsgDelta, func(r *wire.Reader) (wire.Marshaler, error) {
+		m := &msgDelta{From: ids.ProcessID(r.Int64())}
+		m.Reply = r.Bool()
+		n := r.Uint64()
+		if n > uint64(r.Len()) { // each group takes ≥ 5 bytes
+			return nil, wire.ErrTruncated
+		}
+		if n > 0 && r.Err() == nil {
+			m.Groups = make([]groupDelta, 0, n)
+			for i := uint64(0); i < n && r.Err() == nil; i++ {
+				g := groupDelta{LWG: ids.LWGID(r.String())}
+				g.D.Count = uint32(r.Uint64())
+				g.D.MaxVer = r.Uint64()
+				g.D.Hash = r.Uint64()
+				en := r.Uint64()
+				if en > uint64(r.Len()) { // each entry takes ≥ 20 bytes
+					return nil, wire.ErrTruncated
+				}
+				if en > 0 && r.Err() == nil {
+					g.Entries = make([]Entry, 0, en)
+					for j := uint64(0); j < en && r.Err() == nil; j++ {
+						g.Entries = append(g.Entries, getEntry(r))
+					}
+				}
+				m.Groups = append(m.Groups, g)
+			}
+		}
+		return m, r.Err()
+	})
+}
+
+var (
+	_ wire.Marshaler = (*msgDigest)(nil)
+	_ wire.Marshaler = (*msgDelta)(nil)
+)

@@ -66,8 +66,10 @@ type Entry struct {
 	Deleted bool
 }
 
-// wireSize is the entry's serialized size, for the network model.
-func (e Entry) wireSize() int { return 48 + 16*len(e.Ancestors) }
+// wireSize is the entry's serialized size, for the network model. It must
+// equal the length of the canonical encoding produced by appendEntry —
+// TestWireSizeMatchesEncoding asserts the two cannot drift apart.
+func (e Entry) wireSize() int { return 53 + len(e.LWG) + 12*len(e.Ancestors) }
 
 // String renders the mapping in the paper's notation, e.g.
 // "lwg(p1/2) -> hwg3(p1/5)".
@@ -88,6 +90,16 @@ func (e Entry) String() string {
 type DB struct {
 	entries map[ids.LWGID]map[ids.ViewID]*Entry
 	gen     map[ids.LWGID]*ids.Genealogy
+
+	// generation counts observable state changes; the anti-entropy layer
+	// uses it to skip rounds against peers it already reconciled with.
+	generation uint64
+	// digests caches the per-LWG summary used by digest/delta sync;
+	// entries are invalidated by touch and recomputed lazily.
+	digests map[ids.LWGID]Digest
+	// dbHash caches the whole-database summary hash (valid when dbHashOK).
+	dbHash   uint64
+	dbHashOK bool
 }
 
 // NewDB returns an empty database.
@@ -95,8 +107,22 @@ func NewDB() *DB {
 	return &DB{
 		entries: make(map[ids.LWGID]map[ids.ViewID]*Entry),
 		gen:     make(map[ids.LWGID]*ids.Genealogy),
+		digests: make(map[ids.LWGID]Digest),
 	}
 }
+
+// touch records an observable change to the LWG's entry set: it bumps the
+// generation and invalidates the cached digests.
+func (db *DB) touch(lwg ids.LWGID) {
+	db.generation++
+	delete(db.digests, lwg)
+	db.dbHashOK = false
+}
+
+// Generation returns a counter that increases on every observable state
+// change (entry added, replaced, tombstoned, garbage-collected or
+// expired). Two calls returning the same value bracket a quiescent span.
+func (db *DB) Generation() uint64 { return db.generation }
 
 func (db *DB) genealogy(lwg ids.LWGID) *ids.Genealogy {
 	g := db.gen[lwg]
@@ -160,6 +186,9 @@ func (db *DB) Put(e Entry) bool {
 	if db.gc(e.LWG) {
 		changed = true
 	}
+	if changed {
+		db.touch(e.LWG)
+	}
 	return changed
 }
 
@@ -202,15 +231,21 @@ func (db *DB) gc(lwg ids.LWGID) bool {
 }
 
 // Merge applies a batch of entries (from a client update or another
-// server's database) and reports whether anything changed.
-func (db *DB) Merge(entries []Entry) bool {
-	changed := false
+// server's database) and returns the set of LWGs whose stored state
+// changed, sorted and duplicate-free (nil when nothing changed). Callers
+// use the dirty set to re-examine only the affected groups instead of
+// rescanning the whole database.
+func (db *DB) Merge(entries []Entry) []ids.LWGID {
+	var dirty []ids.LWGID
+	seen := make(map[ids.LWGID]bool)
 	for _, e := range entries {
-		if db.Put(e) {
-			changed = true
+		if db.Put(e) && !seen[e.LWG] {
+			seen[e.LWG] = true
+			dirty = append(dirty, e.LWG)
 		}
 	}
-	return changed
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	return dirty
 }
 
 // Live returns the non-deleted mappings of the LWG in deterministic
@@ -239,6 +274,21 @@ func (db *DB) All() []Entry {
 	return out
 }
 
+// EntriesOf returns every entry of one LWG, tombstones included, in
+// deterministic (view) order — the per-group delta payload.
+func (db *DB) EntriesOf(lwg ids.LWGID) []Entry {
+	m := db.entries[lwg]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]Entry, 0, len(m))
+	for _, e := range m {
+		out = append(out, *e)
+	}
+	sortEntries(out)
+	return out
+}
+
 // LWGs returns the known light-weight group names in sorted order.
 func (db *DB) LWGs() []ids.LWGID {
 	out := make([]ids.LWGID, 0, len(db.entries))
@@ -250,18 +300,19 @@ func (db *DB) LWGs() []ids.LWGID {
 }
 
 // Expire hard-deletes entries (live and tombstoned) whose lease lapsed:
-// Refreshed older than ttl before now. It reports whether anything was
-// removed. Expired entries re-learned from a lagging replica carry the
-// same stale timestamp and expire again, so the fleet converges; a live
-// coordinator's periodic refresh (higher Ver, fresh timestamp) wins over
-// any expiry.
-func (db *DB) Expire(now int64, ttl time.Duration) bool {
+// Refreshed older than ttl before now. It returns the LWGs that lost
+// entries, sorted (nil when nothing was removed). Expired entries
+// re-learned from a lagging replica carry the same stale timestamp and
+// expire again, so the fleet converges; a live coordinator's periodic
+// refresh (higher Ver, fresh timestamp) wins over any expiry.
+func (db *DB) Expire(now int64, ttl time.Duration) []ids.LWGID {
 	if ttl <= 0 {
-		return false
+		return nil
 	}
 	cutoff := now - int64(ttl)
-	changed := false
+	var dirty []ids.LWGID
 	for lwg, m := range db.entries {
+		changed := false
 		for v, e := range m {
 			if e.Refreshed < cutoff {
 				delete(m, v)
@@ -271,8 +322,13 @@ func (db *DB) Expire(now int64, ttl time.Duration) bool {
 		if len(m) == 0 {
 			delete(db.entries, lwg)
 		}
+		if changed {
+			db.touch(lwg)
+			dirty = append(dirty, lwg)
+		}
 	}
-	return changed
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	return dirty
 }
 
 // Conflict reports whether the LWG has concurrent live views mapped onto

@@ -176,8 +176,8 @@ func TestMergeIdempotent(t *testing.T) {
 	}
 	db.Merge(entries)
 	before := db.Dump()
-	if db.Merge(entries) {
-		t.Error("re-merging identical entries must report no change")
+	if dirty := db.Merge(entries); len(dirty) != 0 {
+		t.Errorf("re-merging identical entries must report no change, got dirty %v", dirty)
 	}
 	if db.Dump() != before {
 		t.Error("re-merge changed the database")

@@ -20,8 +20,8 @@ func FuzzDBMerge(f *testing.F) {
 		db.Merge(entries)
 		dump1 := db.Dump()
 		// Idempotence.
-		if db.Merge(entries) {
-			t.Fatalf("re-merge reported change\ninput: %v", entries)
+		if dirty := db.Merge(entries); len(dirty) != 0 {
+			t.Fatalf("re-merge reported change in %v\ninput: %v", dirty, entries)
 		}
 		if db.Dump() != dump1 {
 			t.Fatal("re-merge changed the database")

@@ -96,6 +96,78 @@ func (m *msgSync) WireSize() int {
 // Kind implements netsim.Kinder.
 func (m *msgSync) Kind() string { return "naming-sync" }
 
+// digestVersion identifies the digest wire format. A responder that sees
+// a different version cannot interpret the summaries and falls back to a
+// full msgSync push, so mixed-version server sets still converge.
+const digestVersion = 1
+
+// msgDigest opens a digest/delta anti-entropy exchange. The initiating
+// probe (Reply=false) carries only the sender's DB generation and summary
+// hash — if the responder's hash matches, the exchange ends with an empty
+// delta ack and no database content crosses the wire. Otherwise the
+// responder answers with Reply=true and its full digest vector, and the
+// initiator computes the differing groups.
+type msgDigest struct {
+	From    ids.ProcessID
+	Version uint8
+	Gen     uint64 // sender's DB generation when the exchange started
+	DBHash  uint64 // sender's whole-DB summary hash
+	Digests []LWGDigest
+	Reply   bool
+}
+
+// WireSize implements netsim.Message.
+func (m *msgDigest) WireSize() int {
+	n := 24
+	for _, d := range m.Digests {
+		n += d.wireSize()
+	}
+	return n
+}
+
+// Kind implements netsim.Kinder.
+func (m *msgDigest) Kind() string { return "naming-digest" }
+
+// groupDelta carries one differing LWG: the sender's entries for the
+// group plus the digest the sender had (D), so the receiver can tell
+// whether its own post-merge state still differs and needs a reverse
+// delta. A zero D with no entries asks the receiver to push the group.
+type groupDelta struct {
+	LWG     ids.LWGID
+	D       Digest
+	Entries []Entry
+}
+
+func (g groupDelta) wireSize() int {
+	n := 22 + len(g.LWG)
+	for _, e := range g.Entries {
+		n += e.wireSize()
+	}
+	return n
+}
+
+// msgDelta carries the entries of only the differing groups. The
+// initiator's delta (Reply=false) doubles as the reverse-direction
+// request; the responder answers with Reply=true containing only the
+// groups that still differ after its merge.
+type msgDelta struct {
+	From   ids.ProcessID
+	Groups []groupDelta
+	Reply  bool
+}
+
+// WireSize implements netsim.Message.
+func (m *msgDelta) WireSize() int {
+	n := 16
+	for _, g := range m.Groups {
+		n += g.wireSize()
+	}
+	return n
+}
+
+// Kind implements netsim.Kinder.
+func (m *msgDelta) Kind() string { return "naming-delta" }
+
 // MsgMultipleMappings is the callback of Section 6.1: the naming service
 // detected that concurrent views of LWG are mapped onto different HWGs.
 // It carries all the mappings stored for the LWG and is unicast to the
@@ -121,6 +193,8 @@ var (
 	_ netsim.Message = (*msgRequest)(nil)
 	_ netsim.Message = (*msgReply)(nil)
 	_ netsim.Message = (*msgSync)(nil)
+	_ netsim.Message = (*msgDigest)(nil)
+	_ netsim.Message = (*msgDelta)(nil)
 	_ netsim.Message = (*MsgMultipleMappings)(nil)
 )
 
@@ -149,6 +223,16 @@ type Config struct {
 	// survives before it completes with ok == false. Under sustained
 	// loss a single pass (the old behavior) fails far too eagerly.
 	RetryRounds int
+	// FullPush restores the original anti-entropy: push the whole
+	// database every round instead of the digest/delta exchange. Kept as
+	// the baseline for the fig-scale benchmark and the equivalence tests.
+	FullPush bool
+	// MaxIdleSkips bounds how many consecutive rounds a server may skip
+	// probing a peer it already reconciled with while its own generation
+	// is unchanged. The periodic forced probe re-verifies convergence,
+	// bounding the exposure to lost acks or a summary-hash collision.
+	// Zero means the default (8); negative disables skipping entirely.
+	MaxIdleSkips int
 }
 
 // DefaultConfig returns timers sized for the simulated testbed.
@@ -195,6 +279,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryRounds < 1 {
 		c.RetryRounds = 1 // a negative value means "single pass"
+	}
+	if c.MaxIdleSkips == 0 {
+		c.MaxIdleSkips = 8
+	}
+	if c.MaxIdleSkips < 0 {
+		c.MaxIdleSkips = 0 // explicit "never skip"
 	}
 	return c
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"plwg/internal/ids"
+	"plwg/internal/metrics"
 	"plwg/internal/netsim"
 	"plwg/internal/sim"
 	"plwg/internal/trace"
@@ -14,8 +15,16 @@ import (
 // Server is one name-server replica. Servers are "physically placed in
 // strategic locations" (Section 5.2) — in the simulation, on a chosen
 // subset of the nodes, e.g. one per prospective partition — and reconcile
-// their databases by periodic push-pull anti-entropy, which also performs
-// the database reconciliation when a partition heals.
+// their databases by periodic anti-entropy, which also performs the
+// database reconciliation when a partition heals.
+//
+// Reconciliation is a digest/delta exchange rather than a full database
+// push: a round opens with a tiny probe carrying the initiator's
+// whole-database summary hash; only if the hashes differ does the peer
+// answer with its per-LWG digest vector, and only the groups whose
+// digests differ have their entries shipped (in both directions, so one
+// exchange still reconciles both replicas). Config.FullPush restores the
+// original push-pull baseline.
 type Server struct {
 	pid    ids.ProcessID
 	net    netsim.Transport
@@ -26,6 +35,11 @@ type Server struct {
 	next   int             // round-robin anti-entropy cursor
 	tracer trace.Tracer
 
+	// sync tracks per-peer exchange state for the idle-skip rule.
+	sync map[ids.ProcessID]*peerSync
+	// stats counts anti-entropy work (see SyncStats for the names).
+	stats metrics.Counters
+
 	// notified remembers the last conflict snapshot announced per LWG so
 	// unchanged conflicts are re-announced only by the periodic timer.
 	notified map[ids.LWGID]string
@@ -33,6 +47,27 @@ type Server struct {
 	syncTicker   *sim.Ticker
 	notifyTicker *sim.Ticker
 	expireTicker *sim.Ticker
+}
+
+// peerSync is one peer's anti-entropy exchange state.
+type peerSync struct {
+	// done is true after a completed exchange; doneGen is OUR generation
+	// snapshot taken when that exchange started. While the generation
+	// still equals doneGen we know nothing new has appeared locally since
+	// the peer last saw our state, so the round can be skipped. Snapshot
+	// at start (not completion) is deliberately conservative: entries
+	// merged during the exchange advance the generation past doneGen and
+	// force one cheap confirming probe next round.
+	done    bool
+	doneGen uint64
+	// skipped counts consecutive skipped rounds; a forced probe every
+	// MaxIdleSkips rounds bounds the exposure to a lost ack or a
+	// summary-hash collision.
+	skipped int
+	// pending/startGen bracket an exchange in flight: startGen is the
+	// generation snapshot when we sent our probe or digest vector.
+	pending  bool
+	startGen uint64
 }
 
 // ServerParams bundles the dependencies of a Server.
@@ -65,6 +100,7 @@ func NewServer(p ServerParams) *Server {
 		db:       NewDB(),
 		peers:    peers,
 		tracer:   tr,
+		sync:     make(map[ids.ProcessID]*peerSync),
 		notified: make(map[ids.LWGID]string),
 	}
 }
@@ -106,13 +142,16 @@ func (s *Server) filterLapsed(entries []Entry) []Entry {
 	return out
 }
 
-// expireLeases collects mappings whose lease lapsed (dead-view garbage).
+// expireLeases collects mappings whose lease lapsed (dead-view garbage)
+// and re-examines only the groups that lost entries.
 func (s *Server) expireLeases() {
-	if s.db.Expire(int64(s.clock.Now()), s.cfg.MappingTTL) {
-		s.trace("expire", "collected lapsed mapping leases")
-		for _, lwg := range s.db.LWGs() {
-			s.checkConflict(lwg)
-		}
+	dirty := s.db.Expire(int64(s.clock.Now()), s.cfg.MappingTTL)
+	if len(dirty) == 0 {
+		return
+	}
+	s.trace("expire", "collected lapsed mapping leases in %d groups", len(dirty))
+	for _, lwg := range dirty {
+		s.checkConflict(lwg)
 	}
 }
 
@@ -139,6 +178,27 @@ func (s *Server) DB() *DB { return s.db }
 // PID returns the server's node.
 func (s *Server) PID() ids.ProcessID { return s.pid }
 
+// SyncStats returns a snapshot of the server's anti-entropy counters:
+//
+//	rounds          anti-entropy timer fires with at least one peer
+//	skipped         rounds skipped by the idle rule (no probe sent)
+//	probes_sent     digest probes opened
+//	vectors_sent    digest-vector replies sent
+//	deltas_sent     delta messages sent (either direction)
+//	delta_groups    groups whose entries were shipped in deltas
+//	delta_entries   entries shipped in deltas
+//	fulls_sent      full-database syncs sent (baseline or fallback)
+//	full_fallback   full syncs forced by a digest-version mismatch
+//	merge_entries   entries passed to DB.Merge from sync messages
+//	merge_changed   groups actually changed by sync merges
+//	conflict_checks per-group conflict examinations after merges
+//	sync_bytes      modeled bytes of all sync messages sent
+//	exchanges_done  completed digest exchanges (both legs)
+func (s *Server) SyncStats() map[string]int64 { return s.stats.Snapshot() }
+
+// ResetSyncStats zeroes the anti-entropy counters (benchmark windows).
+func (s *Server) ResetSyncStats() { s.stats.Reset() }
+
 // HandleMessage is the network receive entry point for ServerPrefix.
 func (s *Server) HandleMessage(from netsim.NodeID, _ netsim.Addr, msg netsim.Message) {
 	switch m := msg.(type) {
@@ -146,6 +206,10 @@ func (s *Server) HandleMessage(from netsim.NodeID, _ netsim.Addr, msg netsim.Mes
 		s.onRequest(from, m)
 	case *msgSync:
 		s.onSync(m)
+	case *msgDigest:
+		s.onDigest(m)
+	case *msgDelta:
+		s.onDelta(m)
 	}
 }
 
@@ -178,30 +242,195 @@ func (s *Server) onRequest(from netsim.NodeID, r *msgRequest) {
 	}
 }
 
-// antiEntropy pushes the full database to the next peer in the ring; the
-// peer merges and answers with its own database (push-pull), so one
-// exchange reconciles both replicas — including after a partition heals.
+// peerState returns (creating if needed) the exchange state for a peer.
+func (s *Server) peerState(peer ids.ProcessID) *peerSync {
+	st := s.sync[peer]
+	if st == nil {
+		st = &peerSync{}
+		s.sync[peer] = st
+	}
+	return st
+}
+
+// sendSync sends one anti-entropy message and accounts its modeled size.
+func (s *Server) sendSync(peer ids.ProcessID, m netsim.Message) {
+	s.stats.Add("sync_bytes", int64(m.WireSize()))
+	s.net.Unicast(s.pid, peer, ServerPrefix, m)
+}
+
+// antiEntropy runs one reconciliation round against the next ring peer.
+//
+// Baseline (Config.FullPush): push the full database; the peer merges and
+// answers with its own database (push-pull), so one exchange reconciles
+// both replicas — including after a partition heals.
+//
+// Digest mode: if our generation has not moved since the last completed
+// exchange with this peer, skip the round entirely (bounded by
+// MaxIdleSkips). Otherwise open with a probe carrying only our summary
+// hash; the entry exchange happens in onDigest/onDelta and only for the
+// groups that actually differ.
 func (s *Server) antiEntropy() {
 	if len(s.peers) == 0 {
 		return
 	}
 	peer := s.peers[s.next%len(s.peers)]
 	s.next++
-	s.net.Unicast(s.pid, peer, ServerPrefix, &msgSync{From: s.pid, Entries: s.db.All()})
+	s.stats.Add("rounds", 1)
+	if s.cfg.FullPush {
+		s.stats.Add("fulls_sent", 1)
+		s.sendSync(peer, &msgSync{From: s.pid, Entries: s.db.All()})
+		return
+	}
+	st := s.peerState(peer)
+	if st.done && st.doneGen == s.db.Generation() && st.skipped < s.cfg.MaxIdleSkips {
+		st.skipped++
+		s.stats.Add("skipped", 1)
+		return
+	}
+	st.skipped = 0
+	st.pending = true
+	st.startGen = s.db.Generation()
+	s.stats.Add("probes_sent", 1)
+	s.sendSync(peer, &msgDigest{
+		From:    s.pid,
+		Version: digestVersion,
+		Gen:     st.startGen,
+		DBHash:  s.db.Hash(),
+	})
+}
+
+// fallbackFull answers an uninterpretable digest message with the legacy
+// full push, so mixed-format server sets still converge: the peer merges
+// the entries and (for a non-reply sync) pushes its own database back.
+func (s *Server) fallbackFull(peer ids.ProcessID) {
+	s.trace("reconcile", "digest version mismatch with %v; full sync", peer)
+	s.stats.Add("full_fallback", 1)
+	s.stats.Add("fulls_sent", 1)
+	s.sendSync(peer, &msgSync{From: s.pid, Entries: s.db.All()})
+}
+
+func (s *Server) onDigest(m *msgDigest) {
+	if m.Version != digestVersion {
+		s.fallbackFull(m.From)
+		return
+	}
+	if !m.Reply {
+		// Probe from an initiator. Equal summary hashes end the exchange
+		// with an empty ack — and tell us the peer has our state, so our
+		// own next round against it can skip too.
+		if m.DBHash == s.db.Hash() {
+			st := s.peerState(m.From)
+			st.done = true
+			st.doneGen = s.db.Generation()
+			st.pending = false
+			s.stats.Add("deltas_sent", 1)
+			s.sendSync(m.From, &msgDelta{From: s.pid, Reply: true})
+			return
+		}
+		// Hashes differ: answer with our digest vector; the initiator
+		// computes the differing groups. Completion for our side is the
+		// initiator's delta (handled in onDelta).
+		st := s.peerState(m.From)
+		st.pending = true
+		st.startGen = s.db.Generation()
+		s.stats.Add("vectors_sent", 1)
+		s.sendSync(m.From, &msgDigest{
+			From:    s.pid,
+			Version: digestVersion,
+			Gen:     st.startGen,
+			DBHash:  s.db.Hash(),
+			Digests: s.db.DigestVector(),
+			Reply:   true,
+		})
+		return
+	}
+	// Digest vector from the responder: ship entries for every group
+	// whose digests differ, and ask (zero digest, no entries) for groups
+	// only the responder has. The delta also carries our digest per
+	// group so the responder can tell whether a reverse delta is needed.
+	diff := diffDigests(s.db.DigestVector(), m.Digests)
+	groups := make([]groupDelta, 0, len(diff))
+	for _, lwg := range diff {
+		groups = append(groups, groupDelta{
+			LWG:     lwg,
+			D:       s.db.DigestOf(lwg),
+			Entries: s.db.EntriesOf(lwg),
+		})
+	}
+	s.stats.Add("deltas_sent", 1)
+	s.stats.Add("delta_groups", int64(len(groups)))
+	for _, g := range groups {
+		s.stats.Add("delta_entries", int64(len(g.Entries)))
+	}
+	s.sendSync(m.From, &msgDelta{From: s.pid, Groups: groups})
+}
+
+func (s *Server) onDelta(m *msgDelta) {
+	// Merge what the peer sent, tracking which groups changed.
+	var dirty []ids.LWGID
+	entries := 0
+	for _, g := range m.Groups {
+		entries += len(g.Entries)
+		dirty = append(dirty, s.db.Merge(s.filterLapsed(g.Entries))...)
+	}
+	if !m.Reply {
+		// Initiator's delta: answer with our entries for every group
+		// whose post-merge digest still differs from the one the
+		// initiator reported — those are exactly the groups where the
+		// initiator's state is not yet the merge of both replicas.
+		reply := make([]groupDelta, 0, len(m.Groups))
+		for _, g := range m.Groups {
+			d := s.db.DigestOf(g.LWG)
+			if d == g.D {
+				continue
+			}
+			reply = append(reply, groupDelta{
+				LWG:     g.LWG,
+				D:       d,
+				Entries: s.db.EntriesOf(g.LWG),
+			})
+		}
+		s.stats.Add("deltas_sent", 1)
+		s.stats.Add("delta_groups", int64(len(reply)))
+		for _, g := range reply {
+			s.stats.Add("delta_entries", int64(len(g.Entries)))
+		}
+		s.sendSync(m.From, &msgDelta{From: s.pid, Groups: reply, Reply: true})
+	}
+	// Either side: receiving a delta completes the exchange in flight.
+	if st := s.sync[m.From]; st != nil && st.pending {
+		st.pending = false
+		st.done = true
+		st.doneGen = st.startGen
+		st.skipped = 0
+		s.stats.Add("exchanges_done", 1)
+	}
+	if len(dirty) > 0 {
+		s.stats.Add("merge_entries", int64(entries))
+		s.stats.Add("merge_changed", int64(len(dirty)))
+		s.trace("reconcile", "merged delta of %d groups from %v", len(m.Groups), m.From)
+		s.checkConflicts(dirty)
+	}
 }
 
 func (s *Server) onSync(m *msgSync) {
-	changed := s.db.Merge(s.filterLapsed(m.Entries))
+	dirty := s.db.Merge(s.filterLapsed(m.Entries))
 	if !m.Reply {
-		s.net.Unicast(s.pid, m.From, ServerPrefix, &msgSync{
-			From: s.pid, Entries: s.db.All(), Reply: true,
-		})
+		s.stats.Add("fulls_sent", 1)
+		s.sendSync(m.From, &msgSync{From: s.pid, Entries: s.db.All(), Reply: true})
 	}
-	if changed {
+	if len(dirty) > 0 {
+		s.stats.Add("merge_entries", int64(len(m.Entries)))
+		s.stats.Add("merge_changed", int64(len(dirty)))
 		s.trace("reconcile", "merged %d entries from %v", len(m.Entries), m.From)
-		for _, lwg := range s.db.LWGs() {
-			s.checkConflict(lwg)
-		}
+		s.checkConflicts(dirty)
+	}
+}
+
+// checkConflicts re-examines only the given (dirty) groups.
+func (s *Server) checkConflicts(lwgs []ids.LWGID) {
+	for _, lwg := range lwgs {
+		s.checkConflict(lwg)
 	}
 }
 
@@ -209,6 +438,7 @@ func (s *Server) onSync(m *msgSync) {
 // view of the LWG when concurrent views are mapped onto different HWGs
 // (the global peer discovery of Section 6.1).
 func (s *Server) checkConflict(lwg ids.LWGID) {
+	s.stats.Add("conflict_checks", 1)
 	if !s.db.Conflict(lwg) {
 		delete(s.notified, lwg)
 		return

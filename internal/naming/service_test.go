@@ -297,7 +297,7 @@ func TestLeaseRefreshKeepsMappingAlive(t *testing.T) {
 func TestExpireDisabledByDefaultZero(t *testing.T) {
 	db := NewDB()
 	db.Put(Entry{LWG: "a", View: vid(1, 1), HWG: 1, Ver: 1})
-	if db.Expire(int64(time.Hour), 0) {
+	if dirty := db.Expire(int64(time.Hour), 0); len(dirty) != 0 {
 		t.Fatal("ttl=0 must disable expiry")
 	}
 	if len(db.Live("a")) != 1 {

@@ -8,12 +8,16 @@ import (
 var registerOnce sync.Once
 
 // RegisterWireTypes registers the naming service's message types with
-// encoding/gob, for transports that serialize messages.
+// encoding/gob, for transports that serialize messages, and installs the
+// binary-codec decoders for the digest/delta anti-entropy messages.
 func RegisterWireTypes() {
 	registerOnce.Do(func() {
+		registerCodecs()
 		gob.Register(&msgRequest{})
 		gob.Register(&msgReply{})
 		gob.Register(&msgSync{})
+		gob.Register(&msgDigest{})
+		gob.Register(&msgDelta{})
 		gob.Register(&MsgMultipleMappings{})
 	})
 }

@@ -135,6 +135,9 @@ type Stats struct {
 	// ByKind counts frames per message kind (for messages implementing
 	// Kinder).
 	ByKind map[string]int64
+	// BytesByKind accumulates frame bytes (payload + overhead) per
+	// message kind, so experiments can attribute bus load to a protocol.
+	BytesByKind map[string]int64
 }
 
 type node struct {
@@ -167,7 +170,10 @@ func New(s *sim.Sim, p Params) *Network {
 		params:    p,
 		nodes:     make(map[NodeID]*node),
 		partition: make(map[NodeID]int),
-		stats:     Stats{ByKind: make(map[string]int64)},
+		stats: Stats{
+			ByKind:      make(map[string]int64),
+			BytesByKind: make(map[string]int64),
+		},
 	}
 }
 
@@ -260,12 +266,19 @@ func (n *Network) Stats() Stats {
 	for k, v := range n.stats.ByKind {
 		s.ByKind[k] = v
 	}
+	s.BytesByKind = make(map[string]int64, len(n.stats.BytesByKind))
+	for k, v := range n.stats.BytesByKind {
+		s.BytesByKind[k] = v
+	}
 	return s
 }
 
 // ResetStats zeroes the traffic counters (e.g. after warm-up).
 func (n *Network) ResetStats() {
-	n.stats = Stats{ByKind: make(map[string]int64)}
+	n.stats = Stats{
+		ByKind:      make(map[string]int64),
+		BytesByKind: make(map[string]int64),
+	}
 }
 
 // BusUtilization returns the fraction of the interval [since, now] the bus
@@ -322,6 +335,7 @@ func (n *Network) transmit(from NodeID, addr Addr, msg Message, to *NodeID) {
 	n.stats.BusBusy += tx
 	if k, ok := msg.(Kinder); ok {
 		n.stats.ByKind[k.Kind()]++
+		n.stats.BytesByKind[k.Kind()] += int64(frameBytes)
 	}
 
 	// Collect receivers in deterministic (insertion) order.
