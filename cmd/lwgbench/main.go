@@ -134,6 +134,7 @@ func writeJSON(path string, ns, groups []int, seed int64, d bench.Durations, out
 		path, ns, groups, seed, d.Measure)
 	recs := bench.Figure2Records(out, ns, seed, d)
 	recs = append(recs, bench.FigScaleRecords(out, groups, seed, d)...)
+	recs = append(recs, bench.ObservabilityRecords(out, seed, d)...)
 	fmt.Fprintln(out, "  codec microbenchmarks...")
 	for _, s := range vsync.CodecBenchStats() {
 		parts := strings.SplitN(s.Name, "-", 2) // "encode-wire" -> op, codec

@@ -27,9 +27,11 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"plwg/internal/check"
 	"plwg/internal/explore"
+	"plwg/internal/trace"
 )
 
 // defaultRTFaults is the stock real-network fault schedule: light loss,
@@ -60,6 +62,7 @@ func run(args []string, out io.Writer) error {
 	faults := fs.String("faults", defaultRTFaults, "fault spec for -rtnet (see rtnet.ParseFaultSpec)")
 	rtScale := fs.Float64("rtscale", 0.1, "virtual-to-real time scale for -rtnet op delays")
 	par := fs.Int("par", max(1, runtime.NumCPU()/2), "concurrent schedules for the -rtnet sweep")
+	traceOut := fs.String("trace", "", "export one run's trace events to this file (.json = Chrome trace, otherwise JSONL) and explain the stitched protocol operations; a sweep exports its first failing run, or the last seed when all pass")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,6 +114,9 @@ func run(args []string, out io.Writer) error {
 			r = explore.Run(s)
 		}
 		report(out, s, r)
+		if err := exportTrace(out, *traceOut, r.World.Events); err != nil {
+			return err
+		}
 		if r.Failed() {
 			return fmt.Errorf("schedule failed")
 		}
@@ -126,8 +132,20 @@ func run(args []string, out io.Writer) error {
 		Quiesce: *duration,
 	}
 	swept := 0
+	// With -trace, keep the events worth explaining: the first failure
+	// wins (that is the run someone will want to reconstruct), otherwise
+	// the last seed's events. Sweep progress callbacks are serialized,
+	// so plain captures are safe even for the parallel -rtnet sweep.
+	var traceEvents []trace.Event
+	traceLocked := false
 	progress := func(seed int64, r explore.Result) {
 		swept++
+		if *traceOut != "" && !traceLocked {
+			traceEvents = r.World.Events
+			if r.Failed() {
+				traceLocked = true
+			}
+		}
 		if *verbose || r.Failed() {
 			status := "ok"
 			if r.Failed() {
@@ -154,6 +172,9 @@ func run(args []string, out io.Writer) error {
 		failing = explore.Sweep(*start, *seeds, cfg, progress)
 	}
 	fmt.Fprintf(out, "%d seeds swept, %d failing\n", swept, len(failing))
+	if err := exportTrace(out, *traceOut, traceEvents); err != nil {
+		return err
+	}
 	if len(failing) == 0 {
 		return nil
 	}
@@ -186,6 +207,49 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out)
 	}
 	return fmt.Errorf("%d of %d seeds failed", len(failing), swept)
+}
+
+// explainLimit caps how many stitched operations the explain mode
+// prints; the exported file always holds everything.
+const explainLimit = 12
+
+// exportTrace writes the events to path (Chrome trace for .json, JSONL
+// otherwise) and prints the explain summary: every multi-node protocol
+// operation stitched out of the event stream, up to explainLimit.
+func exportTrace(out io.Writer, path string, events []trace.Event) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = trace.WriteChromeTrace(f, events)
+	} else {
+		err = trace.WriteJSONL(f, events)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("export trace %q: %w", path, err)
+	}
+	ops := trace.Stitch(events)
+	fmt.Fprintf(out, "trace: %d events -> %s (%d stitched ops)\n", len(events), path, len(ops))
+	printed := 0
+	for _, op := range ops {
+		if len(op.Nodes) < 2 {
+			continue // single-node ops add noise, not causality
+		}
+		if printed == explainLimit {
+			fmt.Fprintf(out, "... (explain output capped at %d ops; the full trace is in %s)\n", explainLimit, path)
+			break
+		}
+		fmt.Fprint(out, trace.Explain(op))
+		printed++
+	}
+	return nil
 }
 
 func report(out io.Writer, s explore.Schedule, r explore.Result) {

@@ -16,12 +16,16 @@
 //
 // In single-node mode the process joins the named groups, prints every
 // view change and delivery, and (with -chat) multicasts a line per
-// second.
+// second. With -debug addr it also serves live introspection over HTTP:
+// /metrics (text exposition), /debug/trace (JSONL event snapshot),
+// /debug/lwg (membership and mappings) and /debug/pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -31,7 +35,9 @@ import (
 
 	"plwg/internal/core"
 	"plwg/internal/ids"
+	"plwg/internal/metrics"
 	"plwg/internal/rtnet"
+	"plwg/internal/trace"
 )
 
 func main() {
@@ -52,13 +58,14 @@ func run(args []string) error {
 	chat := fs.Bool("chat", false, "multicast a line per second on each joined group")
 	runFor := fs.Duration("for", 0, "exit after this long (0 = until SIGINT)")
 	faults := fs.String("faults", "", "outbound fault spec, e.g. 'loss=0.1,delay=1ms..5ms;3:block' (see rtnet.ParseFaultSpec)")
+	debug := fs.String("debug", "", "serve /metrics, /debug/trace, /debug/lwg and /debug/pprof on this HTTP address (e.g. 127.0.0.1:7180)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *demo || *peersFlag == "" {
 		return runDemo()
 	}
-	return runSingle(*pid, *listen, *peersFlag, *serversFlag, *joinFlag, *chat, *runFor, *faults)
+	return runSingle(*pid, *listen, *peersFlag, *serversFlag, *joinFlag, *chat, *runFor, *faults, *debug)
 }
 
 // printer logs upcalls (invoked on the protocol goroutine).
@@ -72,7 +79,7 @@ func (p printer) Data(lwg ids.LWGID, src ids.ProcessID, data []byte) {
 	fmt.Printf("[p%d] %s: %v says %q\n", p.pid, lwg, src, data)
 }
 
-func runSingle(pid int, listen, peersFlag, serversFlag, joinFlag string, chat bool, runFor time.Duration, faults string) error {
+func runSingle(pid int, listen, peersFlag, serversFlag, joinFlag string, chat bool, runFor time.Duration, faults, debug string) error {
 	peers, err := parsePeers(peersFlag)
 	if err != nil {
 		return err
@@ -85,14 +92,21 @@ func runSingle(pid int, listen, peersFlag, serversFlag, joinFlag string, chat bo
 	if err != nil {
 		return err
 	}
-	node, err := rtnet.Listen(rtnet.NodeConfig{
+	cfg := rtnet.NodeConfig{
 		PID:         ids.ProcessID(pid),
 		Listen:      listen,
 		Peers:       peers,
 		NameServers: servers,
 		Upcalls:     printer{pid: pid},
 		Seed:        int64(pid + 1),
-	})
+	}
+	if debug != "" {
+		// The debug endpoint implies full observability: a registry for
+		// /metrics and a ring for /debug/trace snapshots.
+		cfg.Metrics = metrics.NewRegistry()
+		cfg.Tracer = trace.NewRing(trace.DefaultRingCapacity)
+	}
+	node, err := rtnet.Listen(cfg)
 	if err != nil {
 		return err
 	}
@@ -104,6 +118,15 @@ func runSingle(pid int, listen, peersFlag, serversFlag, joinFlag string, chat bo
 	fmt.Printf("node p%d listening on %v\n", pid, node.Addr())
 	if faults != "" {
 		fmt.Printf("node p%d injecting faults: %s\n", pid, faultSpec)
+	}
+	if debug != "" {
+		ln, err := net.Listen("tcp", debug)
+		if err != nil {
+			return fmt.Errorf("debug listen %q: %w", debug, err)
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, node.DebugHandler()) }()
+		fmt.Printf("node p%d debug endpoint on http://%v\n", pid, ln.Addr())
 	}
 
 	groups := splitList(joinFlag)

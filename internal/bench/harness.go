@@ -91,7 +91,7 @@ type Harness struct {
 
 	// Tracer records protocol events when set before NewHarness builds
 	// the stacks (see NewHarnessTraced).
-	Tracer *trace.Recorder
+	Tracer trace.Tracer
 	opts   Options
 
 	tickers []stopper
@@ -112,8 +112,13 @@ func (p benchPayload) WireSize() int { return p.Size }
 // Options are optional harness overrides, used by the ablation
 // benchmarks.
 type Options struct {
-	// Tracer records protocol events.
-	Tracer *trace.Recorder
+	// Tracer records protocol events (a *trace.Recorder for analysis
+	// runs, a *trace.Ring for overhead-representative ones).
+	Tracer trace.Tracer
+	// Metrics receives instrumentation from every simulated process
+	// (the registry is shared across the cluster, so counters aggregate
+	// cluster-wide); nil disables it.
+	Metrics *metrics.Registry
 	// AckPolicy overrides the stability scheme of the vsync layer.
 	AckPolicy vsync.AckPolicy
 	// Ordering overrides the multicast delivery order.
@@ -190,6 +195,7 @@ func (h *Harness) buildNoLWG() {
 		up := &noLWGUpcalls{h: h, pid: pid}
 		st := vsync.NewStack(vsync.Params{
 			Net: h.NW, PID: pid, Config: cfg, Upcalls: up, Tracer: h.tracer(),
+			Metrics: h.opts.Metrics,
 		})
 		mux := netsim.NewMux()
 		mux.Handle(vsync.AddrPrefix, st.HandleMessage)
@@ -240,11 +246,13 @@ func (h *Harness) buildLWG(static bool) {
 			Vsync:   vsync.Config{AckPolicy: h.opts.AckPolicy, Ordering: h.opts.Ordering},
 			Upcalls: up,
 			Tracer:  h.tracer(),
+			Metrics: h.opts.Metrics,
 		}, mux)
 		for _, sp := range serverPids {
 			if sp == pid {
 				srv := naming.NewServer(naming.ServerParams{
 					Net: h.NW, PID: pid, Peers: serverPids,
+					Metrics: h.opts.Metrics,
 				})
 				mux.Handle(naming.ServerPrefix, srv.HandleMessage)
 				srv.Start()
@@ -450,6 +458,10 @@ func (h *Harness) HWGCount() int {
 		return len(seen)
 	}
 }
+
+// Registry returns the cluster-wide metrics registry (nil unless
+// Options.Metrics was set).
+func (h *Harness) Registry() *metrics.Registry { return h.opts.Metrics }
 
 // Describe returns a one-line summary for table headers.
 func (h *Harness) Describe() string {

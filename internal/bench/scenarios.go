@@ -191,7 +191,8 @@ func Table4Scenario(w io.Writer, seed int64) {
 	fmt.Fprintln(w, "\n-- reconciliation trace (lwg + naming layers) --")
 	for _, e := range c.tracer.Events {
 		switch e.What {
-		case "multiple-mappings", "reconcile", "merge-views", "switch", "reconcile-switch":
+		case "multiple-mappings", "reconcile", "reconcile-switch",
+			trace.LWGMergeStep, trace.LWGSwitch, trace.LWGRebind:
 			fmt.Fprintf(w, "  %s\n", e.String())
 		}
 	}

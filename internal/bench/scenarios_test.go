@@ -37,7 +37,7 @@ func TestTable4MergeEvolution(t *testing.T) {
 		t.Fatalf("Table 4 evolution did not converge:\n%s", out)
 	}
 	// The reconciliation trace must show the Section 6 machinery.
-	for _, want := range []string{"multiple-mappings", "merge-views"} {
+	for _, want := range []string{"multiple-mappings", "merge-step"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("trace missing %q:\n%s", want, out)
 		}

@@ -60,10 +60,14 @@ func (e *Endpoint) flushBatch(st *hwgState) {
 		return
 	}
 	batch := st.batch
+	bytes := st.batchBytes
 	st.batch, st.batchBytes = nil, 0
 	for _, msg := range batch {
 		e.traceSend(msg)
 	}
+	e.ins.batchFlushes.Inc()
+	e.ins.batchedMsgs.Add(int64(len(batch)))
+	e.ins.batchedBytes.Add(int64(bytes))
 	if len(batch) == 1 {
 		_ = e.hwg.Send(st.gid, batch[0])
 		return
@@ -71,8 +75,15 @@ func (e *Endpoint) flushBatch(st *hwgState) {
 	_ = e.hwg.Send(st.gid, &lwgBatch{Msgs: batch})
 }
 
-// traceSend records one data payload leaving under its final view tag.
+// traceSend records one data payload leaving under its final view tag,
+// and counts it — only the copy that reaches the wire counts as sent.
 func (e *Endpoint) traceSend(msg *lwgData) {
+	e.ins.sends.Inc()
+	if e.reg != nil {
+		if m := e.lwgs[msg.LWG]; m != nil {
+			m.cSends.Inc()
+		}
+	}
 	e.traceEvent(trace.Event{
 		What:  trace.LWGSend,
 		Text:  fmt.Sprintf("%s: %q in %v", msg.LWG, msg.Data, msg.View),

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"plwg/internal/ids"
+	"plwg/internal/metrics"
 	"plwg/internal/naming"
 	"plwg/internal/netsim"
 	"plwg/internal/policy"
@@ -179,6 +180,50 @@ type Params struct {
 	Naming  naming.Config
 	Upcalls Upcalls
 	Tracer  trace.Tracer
+	// Metrics receives the endpoint's (and the underlying stacks')
+	// instrumentation; nil disables it at zero hot-path cost.
+	Metrics *metrics.Registry
+}
+
+// epMetrics are the endpoint's pre-resolved instruments. The zero value
+// (nil handles, from a nil registry) is fully disabled: every method on
+// a nil instrument is an inlinable no-op.
+type epMetrics struct {
+	joins         *metrics.Counter
+	leaves        *metrics.Counter
+	sends         *metrics.Counter
+	deliveries    *metrics.Counter
+	viewInstalls  *metrics.Counter
+	lwgFlushes    *metrics.Counter
+	switches      *metrics.Counter
+	rebinds       *metrics.Counter
+	mergeTriggers *metrics.Counter
+	merges        *metrics.Counter
+	batchFlushes  *metrics.Counter
+	batchedMsgs   *metrics.Counter
+	batchedBytes  *metrics.Counter
+	lwgCount      *metrics.Gauge
+	hwgCount      *metrics.Gauge
+}
+
+func newEpMetrics(r *metrics.Registry) epMetrics {
+	return epMetrics{
+		joins:         r.Counter("lwg_joins_total"),
+		leaves:        r.Counter("lwg_leaves_total"),
+		sends:         r.Counter("lwg_sends_total"),
+		deliveries:    r.Counter("lwg_deliveries_total"),
+		viewInstalls:  r.Counter("lwg_view_installs_total"),
+		lwgFlushes:    r.Counter("lwg_flush_rounds_total"),
+		switches:      r.Counter("lwg_switches_total"),
+		rebinds:       r.Counter("lwg_rebinds_total"),
+		mergeTriggers: r.Counter("lwg_merge_triggers_total"),
+		merges:        r.Counter("lwg_merges_total"),
+		batchFlushes:  r.Counter("lwg_batch_flushes_total"),
+		batchedMsgs:   r.Counter("lwg_batched_msgs_total"),
+		batchedBytes:  r.Counter("lwg_batched_bytes_total"),
+		lwgCount:      r.Gauge("lwg_groups"),
+		hwgCount:      r.Gauge("hwg_groups"),
+	}
 }
 
 // Endpoint is one process's light-weight group service instance.
@@ -189,6 +234,8 @@ type Endpoint struct {
 	cfg    Config
 	up     Upcalls
 	tracer trace.Tracer
+	reg    *metrics.Registry
+	ins    epMetrics
 
 	hwg *vsync.Stack
 	ns  *naming.Client
@@ -251,6 +298,8 @@ func New(p Params, mux *netsim.Mux) *Endpoint {
 		cfg:    p.Config.withDefaults(),
 		up:     p.Upcalls,
 		tracer: tr,
+		reg:    p.Metrics,
+		ins:    newEpMetrics(p.Metrics),
 		lwgs:   make(map[ids.LWGID]*lwgMember),
 		hwgs:   make(map[ids.HWGID]*hwgState),
 		lwgSeq: make(map[ids.LWGID]uint64),
@@ -261,12 +310,14 @@ func New(p Params, mux *netsim.Mux) *Endpoint {
 		Config:  p.Vsync,
 		Upcalls: (*hwgUpcalls)(e),
 		Tracer:  tr,
+		Metrics: p.Metrics,
 	})
 	e.ns = naming.NewClient(naming.ClientParams{
 		Net:     p.Net,
 		PID:     p.PID,
 		Servers: p.Servers,
 		Config:  p.Naming,
+		Metrics: p.Metrics,
 	})
 	mux.Handle(vsync.AddrPrefix, e.hwg.HandleMessage)
 	mux.Handle(naming.ClientPrefix, e.ns.HandleMessage)
@@ -290,6 +341,17 @@ func (e *Endpoint) refreshMappings() {
 
 // PID returns the process identifier.
 func (e *Endpoint) PID() ids.ProcessID { return e.pid }
+
+// Registry returns the endpoint's metrics registry (nil when metrics
+// are disabled).
+func (e *Endpoint) Registry() *metrics.Registry { return e.reg }
+
+// updateGauges refreshes the group-count gauges; called where LWG or
+// HWG membership changes.
+func (e *Endpoint) updateGauges() {
+	e.ins.lwgCount.Set(int64(len(e.lwgs)))
+	e.ins.hwgCount.Set(int64(e.hwg.NumGroups()))
+}
 
 // HWGStack exposes the underlying heavy-weight group stack (read-only
 // introspection for tests and tools).

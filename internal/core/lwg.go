@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"plwg/internal/ids"
+	"plwg/internal/metrics"
 	"plwg/internal/naming"
 	"plwg/internal/policy"
 	"plwg/internal/sim"
@@ -70,6 +71,11 @@ type lwgMember struct {
 	switchTicker *sim.Ticker
 	// sw is coordinator-side switch state (ready-collection).
 	sw *switchRound
+
+	// Per-LWG labeled counters, resolved once at membership creation
+	// (nil with metrics disabled; nil instruments no-op).
+	cSends    *metrics.Counter
+	cDelivers *metrics.Counter
 }
 
 // lwgFlushRound is the coordinator-side state of one LWG-level flush.
@@ -102,6 +108,8 @@ func newLwgMember(e *Endpoint, id ids.LWGID) *lwgMember {
 		id:             id,
 		pendingJoiners: make(map[ids.ProcessID]bool),
 		pendingLeavers: make(map[ids.ProcessID]bool),
+		cSends:         e.reg.Counter("lwg_sends_total", metrics.L("lwg", string(id))),
+		cDelivers:      e.reg.Counter("lwg_deliveries_total", metrics.L("lwg", string(id))),
 	}
 }
 
@@ -167,6 +175,8 @@ func (e *Endpoint) Join(lwg ids.LWGID) error {
 	m := newLwgMember(e, lwg)
 	e.lwgs[lwg] = m
 	m.state = lwgResolving
+	e.ins.joins.Inc()
+	e.updateGauges()
 	e.trace("join", "%s: resolving mapping", lwg)
 	m.resolveMapping()
 	return nil
@@ -178,6 +188,7 @@ func (e *Endpoint) Leave(lwg ids.LWGID) error {
 	if !ok {
 		return ErrNotMember
 	}
+	e.ins.leaves.Inc()
 	m.requestLeave()
 	return nil
 }
@@ -478,6 +489,7 @@ func (m *lwgMember) startLwgFlush(why string, onDone func()) {
 		got:      make(map[ids.ProcessID]bool),
 		onDone:   onDone,
 	}
+	e.ins.lwgFlushes.Inc()
 	e.trace("lwg-flush", "%s: %s expected=%s", m.id, why, expected)
 	m.state = lwgStopped
 	e.hwgSend(m.hwg, &lwgStop{LWG: m.id, View: m.view.ID})
@@ -653,6 +665,7 @@ func (e *Endpoint) dropLwg(lwg ids.LWGID) {
 		}
 	}
 	delete(e.lwgs, lwg)
+	e.updateGauges()
 }
 
 // --- view installation -------------------------------------------------------
@@ -721,6 +734,7 @@ func (m *lwgMember) installView(rec viewRecord, hwg ids.HWGID) {
 		}
 	}
 
+	e.ins.viewInstalls.Inc()
 	e.traceEvent(trace.Event{
 		What:    trace.LWGViewInstall,
 		Text:    fmt.Sprintf("%s: %v%s on %v", m.id, rec.View.ID, rec.View.Members, hwg),

@@ -43,6 +43,7 @@ func (e *Endpoint) onHWGView(gid ids.HWGID, view ids.View) {
 	st := e.hwgState(gid)
 	st.view = view
 	st.stopped = false
+	e.updateGauges()
 
 	// Progress joins and founders waiting for this HWG's view (sorted
 	// iteration: message emission must be deterministic).
@@ -188,6 +189,8 @@ func (e *Endpoint) onLwgData(st *hwgState, src ids.ProcessID, msg *lwgData) {
 // deliverData hands one data message to the application.
 func (m *lwgMember) deliverData(src ids.ProcessID, msg *lwgData) {
 	e := m.e
+	e.ins.deliveries.Inc()
+	m.cDelivers.Inc()
 	e.traceEvent(trace.Event{
 		What:  trace.LWGDeliver,
 		Text:  fmt.Sprintf("%s: %q from %v in %v", msg.LWG, msg.Data, src, msg.View),
@@ -291,7 +294,14 @@ func (e *Endpoint) onLwgView(st *hwgState, msg *lwgView) {
 	// while the rest of the group reconfigures on the target.
 	if m.state == lwgSwitching && msg.HWG == st.gid && st.gid == m.switchTarget &&
 		rec.View.ID == m.view.ID {
-		e.trace("switch", "%s: re-bound to %v", rec.LWG, st.gid)
+		e.ins.rebinds.Inc()
+		e.traceEvent(trace.Event{
+			What:  trace.LWGRebind,
+			Group: string(rec.LWG),
+			View:  rec.View.ID,
+			Ref:   st.gid.String(),
+			Text:  fmt.Sprintf("re-bound to %v", st.gid),
+		})
 		m.installView(rec, st.gid)
 		return
 	}
@@ -302,13 +312,26 @@ func (e *Endpoint) onLwgView(st *hwgState, msg *lwgView) {
 		rec.Ancestors.Contains(m.view.ID) {
 		e.recordKnown(st, rec)
 		if rec.View.Contains(e.pid) {
-			e.trace("switch", "%s: re-bound to %v (caught up to %v)", rec.LWG, st.gid, rec.View.ID)
+			e.ins.rebinds.Inc()
+			e.traceEvent(trace.Event{
+				What:  trace.LWGRebind,
+				Group: string(rec.LWG),
+				View:  rec.View.ID,
+				Ref:   st.gid.String(),
+				Text:  fmt.Sprintf("re-bound to %v (caught up to %v)", st.gid, rec.View.ID),
+			})
 			m.installView(rec, st.gid)
 			return
 		}
 		// Merged away without us: land on the target as a singleton;
 		// merge-views folds us back in.
-		e.trace("switch", "%s: superseded mid-switch, landing on %v as singleton", rec.LWG, st.gid)
+		e.traceEvent(trace.Event{
+			What:  trace.LWGRebind,
+			Group: string(rec.LWG),
+			View:  m.view.ID,
+			Ref:   st.gid.String(),
+			Text:  fmt.Sprintf("superseded mid-switch, landing on %v as singleton", st.gid),
+		})
 		single := viewRecord{
 			LWG: rec.LWG,
 			View: ids.View{
@@ -392,13 +415,22 @@ func (e *Endpoint) maybeRepudiate(st *hwgState, rec viewRecord) {
 	e.hwgSend(st.gid, &lwgLeaveReq{LWG: rec.LWG, From: e.pid})
 }
 
-// triggerMergeViews multicasts MERGE-VIEWS once per HWG view.
+// triggerMergeViews multicasts MERGE-VIEWS once per HWG view (Step 1 of
+// a merge-views round; the steps of one round share the HWG view they
+// run in as their correlation key).
 func (e *Endpoint) triggerMergeViews(st *hwgState) {
 	if st.mergePending {
 		return
 	}
 	st.mergePending = true
-	e.trace("merge-views", "trigger on %v", st.gid)
+	e.ins.mergeTriggers.Inc()
+	e.traceEvent(trace.Event{
+		What:  trace.LWGMergeStep,
+		Step:  1,
+		Group: st.gid.String(),
+		View:  st.view.ID,
+		Text:  fmt.Sprintf("trigger on %v", st.gid),
+	})
 	e.hwgSend(st.gid, &lwgMergeViews{})
 }
 
@@ -416,8 +448,22 @@ func (e *Endpoint) onMergeViews(st *hwgState) {
 		}
 	}
 	sort.Slice(views, func(i, j int) bool { return views[i].LWG < views[j].LWG })
+	e.traceEvent(trace.Event{
+		What:  trace.LWGMergeStep,
+		Step:  2,
+		Group: st.gid.String(),
+		View:  st.view.ID,
+		Text:  fmt.Sprintf("multicast %d mapped views", len(views)),
+	})
 	e.hwgSend(st.gid, &lwgMappedViews{Views: views})
 	if e.hwg.IsCoordinator(st.gid) {
+		e.traceEvent(trace.Event{
+			What:  trace.LWGMergeStep,
+			Step:  3,
+			Group: st.gid.String(),
+			View:  st.view.ID,
+			Text:  "coordinator forcing flush",
+		})
 		_ = e.hwg.Flush(st.gid)
 	}
 }
@@ -540,8 +586,18 @@ func (e *Endpoint) reconcileOneLWG(st *hwgState, lwg ids.LWGID) {
 			},
 			Ancestors: ancestors,
 		}
-		e.trace("merge-views", "%s: merged %v into %v%s on %v",
-			lwg, mergedIDs, final.View.ID, final.View.Members, st.gid)
+		e.ins.merges.Inc()
+		e.traceEvent(trace.Event{
+			What:    trace.LWGMergeStep,
+			Step:    4,
+			Group:   st.gid.String(),
+			View:    st.view.ID,
+			Ref:     string(lwg),
+			Data:    final.View.ID.String(),
+			Members: final.View.Members.Clone(),
+			Text: fmt.Sprintf("%s: merged %v into %v%s",
+				lwg, mergedIDs, final.View.ID, final.View.Members),
+		})
 	}
 
 	st.known[lwg] = map[ids.ViewID]viewRecord{final.View.ID: final}
@@ -608,7 +664,14 @@ func (m *lwgMember) startSwitch(target ids.HWGID, fresh bool) {
 	if m.state != lwgActive || !m.isCoordinator() || target == m.hwg || target == ids.NoHWG {
 		return
 	}
-	e.trace("switch", "%s: %v -> %v", m.id, m.hwg, target)
+	e.ins.switches.Inc()
+	e.traceEvent(trace.Event{
+		What:  trace.LWGSwitch,
+		Group: string(m.id),
+		View:  m.view.ID,
+		Ref:   target.String(),
+		Text:  fmt.Sprintf("%v -> %v", m.hwg, target),
+	})
 	if fresh && !e.hwg.IsMember(target) {
 		_ = e.hwg.Create(target)
 	}

@@ -1,0 +1,110 @@
+package explore
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"plwg/internal/ids"
+	"plwg/internal/trace"
+)
+
+// TestStitchAcrossPartitionHeal is the end-to-end span-stitching test
+// of the tracing tentpole: a deterministic partition/heal schedule
+// makes two sides of a 6-node cluster create the same LWG
+// independently, so the heal forces the full Section 6 reconciliation —
+// MULTIPLE-MAPPINGS detection, a switch, and a MERGE-VIEWS round. The
+// recorded trace is round-tripped through the JSONL exporter (as the
+// lwgcheck -trace pipeline does) and the stitcher must reconstruct the
+// cross-node operations from nothing but the exported events: the
+// merge and the final view installation must each span at least 3
+// nodes.
+func TestStitchAcrossPartitionHeal(t *testing.T) {
+	s := Schedule{
+		Seed:  7,
+		Nodes: 6, // naming servers at 0 and 3: one in each side of the cut
+		LWGs:  []ids.LWGID{"g"},
+		Ops: []Op{
+			{Kind: OpPart, Cut: 3},
+			// Side A ({0,1,2}) and side B ({3,4,5}) each build the group
+			// on their own naming server, producing conflicting mappings.
+			{Delay: 100 * time.Millisecond, Kind: OpJoin, P: 0, LWG: "g"},
+			{Delay: 100 * time.Millisecond, Kind: OpJoin, P: 3, LWG: "g"},
+			{Delay: 2 * time.Second, Kind: OpJoin, P: 1, LWG: "g"},
+			{Delay: 100 * time.Millisecond, Kind: OpJoin, P: 4, LWG: "g"},
+			{Delay: 2 * time.Second, Kind: OpJoin, P: 2, LWG: "g"},
+			{Delay: 100 * time.Millisecond, Kind: OpJoin, P: 5, LWG: "g"},
+			{Delay: 2 * time.Second, Kind: OpSend, P: 1, LWG: "g"},
+			{Delay: 100 * time.Millisecond, Kind: OpSend, P: 4, LWG: "g"},
+			{Delay: 5 * time.Second, Kind: OpHeal},
+		},
+		Quiesce: 60 * time.Second,
+	}
+	r := Run(s)
+	if r.Failed() {
+		t.Fatalf("schedule failed: completed=%v violations=%v", r.Completed, r.Violations)
+	}
+
+	// Export and re-parse, so the stitcher only sees what a consumer of
+	// the JSONL file would.
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, r.World.Events); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	events, err := trace.ParseJSONL(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(events) != len(r.World.Events) {
+		t.Fatalf("round trip lost events: %d -> %d", len(r.World.Events), len(events))
+	}
+
+	ops := trace.Stitch(events)
+	if len(ops) == 0 {
+		t.Fatal("no operations stitched")
+	}
+	maxNodes := func(kind string) (best trace.Op) {
+		for _, op := range ops {
+			if op.Key.Kind == kind && len(op.Nodes) > len(best.Nodes) {
+				best = op
+			}
+		}
+		return best
+	}
+
+	// The MERGE-VIEWS round on the surviving HWG involves both former
+	// sides; its widest stitched op must span at least 3 of the 6 nodes.
+	merge := maxNodes("merge-views")
+	if len(merge.Nodes) < 3 {
+		t.Errorf("widest merge-views op spans %v, want >= 3 nodes", merge.Nodes)
+	}
+	// A switch moves one side's members onto the winning HWG: the
+	// announcement plus the re-binds must stitch across the cluster.
+	sw := maxNodes("switch")
+	if len(sw.Nodes) < 2 {
+		t.Errorf("widest switch op spans %v, want >= 2 nodes", sw.Nodes)
+	}
+	// After convergence all six members install one merged LWG view.
+	view := maxNodes("lwg-view")
+	if len(view.Nodes) != 6 {
+		t.Errorf("widest lwg-view op spans %v, want all 6 nodes", view.Nodes)
+	}
+	// Flush rounds stitch the coordinator's start/done with every
+	// member's stopped/stop-ok.
+	flush := maxNodes("flush")
+	if len(flush.Nodes) < 3 {
+		t.Errorf("widest flush op spans %v, want >= 3 nodes", flush.Nodes)
+	}
+
+	// The ops must carry coherent time bounds and event lists.
+	for _, op := range ops {
+		if len(op.Events) == 0 || op.Start > op.End {
+			t.Fatalf("malformed op %v: %d events, %v..%v",
+				op.Key, len(op.Events), op.Start, op.End)
+		}
+	}
+
+	if testing.Verbose() {
+		t.Logf("stitched %d ops; merge:\n%s", len(ops), trace.Explain(merge))
+	}
+}

@@ -56,19 +56,25 @@ func (h *Histogram) Max() time.Duration {
 	return h.samples[len(h.samples)-1]
 }
 
-// Percentile returns the p-th percentile (0 < p <= 100) using
-// nearest-rank, or 0 with no samples.
+// Percentile returns the p-th percentile using nearest-rank, or 0 with
+// no samples. Out-of-range p is clamped to (0, 100]: p <= 0 answers the
+// minimum, p > 100 the maximum. A NaN p is an invalid query and
+// answers 0 (the int conversion of a NaN float is otherwise
+// platform-defined, which silently corrupted the rank).
 func (h *Histogram) Percentile(p float64) time.Duration {
+	if math.IsNaN(p) {
+		return 0
+	}
 	h.sort()
 	if len(h.samples) == 0 {
 		return 0
 	}
-	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > len(h.samples) {
-		rank = len(h.samples)
+	rank := 1
+	if p > 0 {
+		// +Inf stays above len after Ceil and clamps to the maximum.
+		if r := math.Ceil(p / 100 * float64(len(h.samples))); r > 1 {
+			rank = int(math.Min(r, float64(len(h.samples))))
+		}
 	}
 	return h.samples[rank-1]
 }

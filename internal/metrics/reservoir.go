@@ -71,6 +71,9 @@ func (r *Reservoir) Min() time.Duration { return r.min }
 func (r *Reservoir) Max() time.Duration { return r.max }
 
 // Percentile estimates the p-th percentile from the retained sample.
+// The edge-case contract matches Histogram.Percentile: 0 with no
+// samples or a NaN p, the single sample for any valid p when only one
+// was recorded, and clamping of out-of-range p to (0, 100].
 func (r *Reservoir) Percentile(p float64) time.Duration {
 	return r.h.Percentile(p)
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -76,5 +77,86 @@ func TestReservoirDefaultCapacity(t *testing.T) {
 	}
 	if len(r.h.samples) != 1024 {
 		t.Errorf("default capacity retained %d, want 1024", len(r.h.samples))
+	}
+}
+
+// TestReservoirQuantileEdgeCases pins the Percentile contract at the
+// boundaries: empty reservoir, single sample, NaN and out-of-range p.
+func TestReservoirQuantileEdgeCases(t *testing.T) {
+	single := func() *Reservoir {
+		r := NewReservoir(8, 1)
+		r.Add(42 * time.Millisecond)
+		return r
+	}
+	many := func() *Reservoir {
+		r := NewReservoir(128, 1)
+		for i := 1; i <= 100; i++ {
+			r.Add(time.Duration(i) * time.Millisecond)
+		}
+		return r
+	}
+	tests := []struct {
+		name string
+		r    *Reservoir
+		p    float64
+		want time.Duration
+	}{
+		{"empty p50", NewReservoir(8, 1), 50, 0},
+		{"empty p0", NewReservoir(8, 1), 0, 0},
+		{"empty NaN", NewReservoir(8, 1), math.NaN(), 0},
+		{"single p50", single(), 50, 42 * time.Millisecond},
+		{"single p100", single(), 100, 42 * time.Millisecond},
+		{"single p0 clamps to min", single(), 0, 42 * time.Millisecond},
+		{"single p negative clamps to min", single(), -10, 42 * time.Millisecond},
+		{"single p above 100 clamps to max", single(), 250, 42 * time.Millisecond},
+		{"single NaN is invalid", single(), math.NaN(), 0},
+		{"many p0 is min", many(), 0, time.Millisecond},
+		{"many p-5 is min", many(), -5, time.Millisecond},
+		{"many p101 is max", many(), 101, 100 * time.Millisecond},
+		{"many +Inf is max", many(), math.Inf(1), 100 * time.Millisecond},
+		{"many -Inf is min", many(), math.Inf(-1), time.Millisecond},
+		{"many NaN is invalid", many(), math.NaN(), 0},
+		{"many p50 exact under capacity", many(), 50, 50 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.r.Percentile(tt.p); got != tt.want {
+				t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestReservoirEmptyAggregates: the zero-observation reservoir answers
+// zeros for every aggregate, and a single observation is reflected
+// exactly everywhere.
+func TestReservoirEmptyAndSingleAggregates(t *testing.T) {
+	r := NewReservoir(8, 1)
+	if r.Count() != 0 || r.Mean() != 0 || r.Min() != 0 || r.Max() != 0 {
+		t.Errorf("empty aggregates: count=%d mean=%v min=%v max=%v",
+			r.Count(), r.Mean(), r.Min(), r.Max())
+	}
+	r.Add(7 * time.Millisecond)
+	if r.Count() != 1 || r.Mean() != 7*time.Millisecond ||
+		r.Min() != 7*time.Millisecond || r.Max() != 7*time.Millisecond {
+		t.Errorf("single-sample aggregates: count=%d mean=%v min=%v max=%v",
+			r.Count(), r.Mean(), r.Min(), r.Max())
+	}
+}
+
+// TestHistogramPercentileNaN covers the shared nearest-rank helper
+// directly (the reservoir delegates to it).
+func TestHistogramPercentileEdgeCases(t *testing.T) {
+	var h Histogram
+	h.Add(3 * time.Millisecond)
+	h.Add(9 * time.Millisecond)
+	if got := h.Percentile(math.NaN()); got != 0 {
+		t.Errorf("NaN percentile = %v, want 0", got)
+	}
+	if got := h.Percentile(-1); got != 3*time.Millisecond {
+		t.Errorf("negative percentile = %v, want min", got)
+	}
+	if got := h.Percentile(math.Inf(1)); got != 9*time.Millisecond {
+		t.Errorf("+Inf percentile = %v, want max", got)
 	}
 }

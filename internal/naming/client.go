@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"plwg/internal/ids"
+	"plwg/internal/metrics"
 	"plwg/internal/netsim"
 	"plwg/internal/sim"
 )
@@ -31,6 +32,11 @@ type Client struct {
 
 	nextReq uint64
 	pending map[uint64]*pendingReq
+
+	// Instruments (nil with metrics disabled; nil instruments no-op).
+	cRequests *metrics.Counter
+	cRetries  *metrics.Counter
+	cFailures *metrics.Counter
 }
 
 type pendingReq struct {
@@ -52,18 +58,24 @@ type ClientParams struct {
 	PID     ids.ProcessID
 	Servers []ids.ProcessID
 	Config  Config
+	// Metrics receives the client's request/retry/failure counters; nil
+	// disables them.
+	Metrics *metrics.Registry
 }
 
 // NewClient creates a naming client. The caller must route mux prefix
 // ClientPrefix to HandleMessage.
 func NewClient(p ClientParams) *Client {
 	return &Client{
-		pid:     p.PID,
-		net:     p.Net,
-		clock:   p.Net.Sim(),
-		cfg:     p.Config.withDefaults(),
-		servers: append([]ids.ProcessID(nil), p.Servers...),
-		pending: make(map[uint64]*pendingReq),
+		pid:       p.PID,
+		net:       p.Net,
+		clock:     p.Net.Sim(),
+		cfg:       p.Config.withDefaults(),
+		servers:   append([]ids.ProcessID(nil), p.Servers...),
+		pending:   make(map[uint64]*pendingReq),
+		cRequests: p.Metrics.Counter("ns_client_requests_total"),
+		cRetries:  p.Metrics.Counter("ns_client_retries_total"),
+		cFailures: p.Metrics.Counter("ns_client_failures_total"),
 	}
 }
 
@@ -171,6 +183,7 @@ func (c *Client) issue(req *msgRequest, cb func([]Entry, bool)) {
 	c.nextReq++
 	req.ReqID = c.nextReq
 	req.From = c.pid
+	c.cRequests.Inc()
 	// Start at the server "closest" to this process (deterministic
 	// spread: indexed by pid) so load distributes across replicas.
 	p := &pendingReq{
@@ -191,6 +204,7 @@ func (c *Client) sendAttempt(p *pendingReq) {
 		}
 		p.tried++
 		p.sIndex++
+		c.cRetries.Inc()
 		if p.tried < len(c.servers) {
 			c.sendAttempt(p)
 			return
@@ -201,6 +215,7 @@ func (c *Client) sendAttempt(p *pendingReq) {
 		if p.rounds >= c.cfg.RetryRounds {
 			delete(c.pending, p.req.ReqID)
 			p.timer = nil
+			c.cFailures.Inc()
 			p.cb(nil, false)
 			return
 		}

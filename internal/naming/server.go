@@ -37,8 +37,9 @@ type Server struct {
 
 	// sync tracks per-peer exchange state for the idle-skip rule.
 	sync map[ids.ProcessID]*peerSync
-	// stats counts anti-entropy work (see SyncStats for the names).
-	stats metrics.Counters
+	// stats counts anti-entropy work (see SyncStats for the names),
+	// backed by the injected metrics registry.
+	stats *srvMetrics
 
 	// notified remembers the last conflict snapshot announced per LWG so
 	// unchanged conflicts are re-announced only by the periodic timer.
@@ -77,6 +78,9 @@ type ServerParams struct {
 	Peers  []ids.ProcessID // all server pids (may include PID)
 	Config Config
 	Tracer trace.Tracer
+	// Metrics receives the server's anti-entropy counters (as
+	// ns_<name>_total); when nil a private registry backs SyncStats.
+	Metrics *metrics.Registry
 }
 
 // NewServer creates a name server on the node. The caller must route mux
@@ -101,6 +105,7 @@ func NewServer(p ServerParams) *Server {
 		peers:    peers,
 		tracer:   tr,
 		sync:     make(map[ids.ProcessID]*peerSync),
+		stats:    newSrvMetrics(p.Metrics),
 		notified: make(map[ids.LWGID]string),
 	}
 }
@@ -194,10 +199,12 @@ func (s *Server) PID() ids.ProcessID { return s.pid }
 //	conflict_checks per-group conflict examinations after merges
 //	sync_bytes      modeled bytes of all sync messages sent
 //	exchanges_done  completed digest exchanges (both legs)
-func (s *Server) SyncStats() map[string]int64 { return s.stats.Snapshot() }
+func (s *Server) SyncStats() map[string]int64 { return s.stats.snapshot() }
 
-// ResetSyncStats zeroes the anti-entropy counters (benchmark windows).
-func (s *Server) ResetSyncStats() { s.stats.Reset() }
+// ResetSyncStats starts a fresh counting window (benchmark windows). The
+// underlying registry counters stay monotonic; SyncStats reports deltas
+// against the window start.
+func (s *Server) ResetSyncStats() { s.stats.reset() }
 
 // HandleMessage is the network receive entry point for ServerPrefix.
 func (s *Server) HandleMessage(from netsim.NodeID, _ netsim.Addr, msg netsim.Message) {
@@ -254,7 +261,7 @@ func (s *Server) peerState(peer ids.ProcessID) *peerSync {
 
 // sendSync sends one anti-entropy message and accounts its modeled size.
 func (s *Server) sendSync(peer ids.ProcessID, m netsim.Message) {
-	s.stats.Add("sync_bytes", int64(m.WireSize()))
+	s.stats.add("sync_bytes", int64(m.WireSize()))
 	s.net.Unicast(s.pid, peer, ServerPrefix, m)
 }
 
@@ -275,22 +282,30 @@ func (s *Server) antiEntropy() {
 	}
 	peer := s.peers[s.next%len(s.peers)]
 	s.next++
-	s.stats.Add("rounds", 1)
+	s.stats.add("rounds", 1)
 	if s.cfg.FullPush {
-		s.stats.Add("fulls_sent", 1)
+		s.stats.add("fulls_sent", 1)
 		s.sendSync(peer, &msgSync{From: s.pid, Entries: s.db.All()})
 		return
 	}
 	st := s.peerState(peer)
 	if st.done && st.doneGen == s.db.Generation() && st.skipped < s.cfg.MaxIdleSkips {
 		st.skipped++
-		s.stats.Add("skipped", 1)
+		s.stats.add("skipped", 1)
 		return
 	}
 	st.skipped = 0
 	st.pending = true
 	st.startGen = s.db.Generation()
-	s.stats.Add("probes_sent", 1)
+	s.stats.add("probes_sent", 1)
+	s.tracer.Trace(trace.Event{
+		At:    s.clock.Now(),
+		Node:  s.pid,
+		Layer: "ns",
+		What:  trace.NSDigest,
+		Ref:   peer.String(),
+		Text:  fmt.Sprintf("probe to %v gen=%d", peer, st.startGen),
+	})
 	s.sendSync(peer, &msgDigest{
 		From:    s.pid,
 		Version: digestVersion,
@@ -304,8 +319,8 @@ func (s *Server) antiEntropy() {
 // the entries and (for a non-reply sync) pushes its own database back.
 func (s *Server) fallbackFull(peer ids.ProcessID) {
 	s.trace("reconcile", "digest version mismatch with %v; full sync", peer)
-	s.stats.Add("full_fallback", 1)
-	s.stats.Add("fulls_sent", 1)
+	s.stats.add("full_fallback", 1)
+	s.stats.add("fulls_sent", 1)
 	s.sendSync(peer, &msgSync{From: s.pid, Entries: s.db.All()})
 }
 
@@ -323,7 +338,7 @@ func (s *Server) onDigest(m *msgDigest) {
 			st.done = true
 			st.doneGen = s.db.Generation()
 			st.pending = false
-			s.stats.Add("deltas_sent", 1)
+			s.stats.add("deltas_sent", 1)
 			s.sendSync(m.From, &msgDelta{From: s.pid, Reply: true})
 			return
 		}
@@ -333,7 +348,15 @@ func (s *Server) onDigest(m *msgDigest) {
 		st := s.peerState(m.From)
 		st.pending = true
 		st.startGen = s.db.Generation()
-		s.stats.Add("vectors_sent", 1)
+		s.stats.add("vectors_sent", 1)
+		s.tracer.Trace(trace.Event{
+			At:    s.clock.Now(),
+			Node:  s.pid,
+			Layer: "ns",
+			What:  trace.NSDigest,
+			Ref:   m.From.String(),
+			Text:  fmt.Sprintf("digest vector to %v (hash differs)", m.From),
+		})
 		s.sendSync(m.From, &msgDigest{
 			From:    s.pid,
 			Version: digestVersion,
@@ -357,10 +380,10 @@ func (s *Server) onDigest(m *msgDigest) {
 			Entries: s.db.EntriesOf(lwg),
 		})
 	}
-	s.stats.Add("deltas_sent", 1)
-	s.stats.Add("delta_groups", int64(len(groups)))
+	s.stats.add("deltas_sent", 1)
+	s.stats.add("delta_groups", int64(len(groups)))
 	for _, g := range groups {
-		s.stats.Add("delta_entries", int64(len(g.Entries)))
+		s.stats.add("delta_entries", int64(len(g.Entries)))
 	}
 	s.sendSync(m.From, &msgDelta{From: s.pid, Groups: groups})
 }
@@ -390,10 +413,10 @@ func (s *Server) onDelta(m *msgDelta) {
 				Entries: s.db.EntriesOf(g.LWG),
 			})
 		}
-		s.stats.Add("deltas_sent", 1)
-		s.stats.Add("delta_groups", int64(len(reply)))
+		s.stats.add("deltas_sent", 1)
+		s.stats.add("delta_groups", int64(len(reply)))
 		for _, g := range reply {
-			s.stats.Add("delta_entries", int64(len(g.Entries)))
+			s.stats.add("delta_entries", int64(len(g.Entries)))
 		}
 		s.sendSync(m.From, &msgDelta{From: s.pid, Groups: reply, Reply: true})
 	}
@@ -403,11 +426,11 @@ func (s *Server) onDelta(m *msgDelta) {
 		st.done = true
 		st.doneGen = st.startGen
 		st.skipped = 0
-		s.stats.Add("exchanges_done", 1)
+		s.stats.add("exchanges_done", 1)
 	}
 	if len(dirty) > 0 {
-		s.stats.Add("merge_entries", int64(entries))
-		s.stats.Add("merge_changed", int64(len(dirty)))
+		s.stats.add("merge_entries", int64(entries))
+		s.stats.add("merge_changed", int64(len(dirty)))
 		s.trace("reconcile", "merged delta of %d groups from %v", len(m.Groups), m.From)
 		s.checkConflicts(dirty)
 	}
@@ -416,12 +439,12 @@ func (s *Server) onDelta(m *msgDelta) {
 func (s *Server) onSync(m *msgSync) {
 	dirty := s.db.Merge(s.filterLapsed(m.Entries))
 	if !m.Reply {
-		s.stats.Add("fulls_sent", 1)
+		s.stats.add("fulls_sent", 1)
 		s.sendSync(m.From, &msgSync{From: s.pid, Entries: s.db.All(), Reply: true})
 	}
 	if len(dirty) > 0 {
-		s.stats.Add("merge_entries", int64(len(m.Entries)))
-		s.stats.Add("merge_changed", int64(len(dirty)))
+		s.stats.add("merge_entries", int64(len(m.Entries)))
+		s.stats.add("merge_changed", int64(len(dirty)))
 		s.trace("reconcile", "merged %d entries from %v", len(m.Entries), m.From)
 		s.checkConflicts(dirty)
 	}
@@ -438,7 +461,7 @@ func (s *Server) checkConflicts(lwgs []ids.LWGID) {
 // view of the LWG when concurrent views are mapped onto different HWGs
 // (the global peer discovery of Section 6.1).
 func (s *Server) checkConflict(lwg ids.LWGID) {
-	s.stats.Add("conflict_checks", 1)
+	s.stats.add("conflict_checks", 1)
 	if !s.db.Conflict(lwg) {
 		delete(s.notified, lwg)
 		return

@@ -6,6 +6,7 @@ import (
 
 	"plwg/internal/core"
 	"plwg/internal/ids"
+	"plwg/internal/metrics"
 	"plwg/internal/naming"
 	"plwg/internal/netsim"
 	"plwg/internal/trace"
@@ -34,8 +35,14 @@ type NodeConfig struct {
 	// Upcalls receives View/Data callbacks — ON THE DRIVER LOOP
 	// GOROUTINE. Hand off to channels for application work.
 	Upcalls core.Upcalls
-	// Tracer records protocol events (optional).
+	// Tracer records protocol events (optional). A *trace.Ring here
+	// additionally makes the node's event history snapshottable through
+	// the debug endpoint.
 	Tracer trace.Tracer
+	// Metrics receives instrumentation from every layer of the stack
+	// (transport, vsync, core, naming); nil disables it at zero
+	// hot-path cost.
+	Metrics *metrics.Registry
 	// Seed seeds the node's local engine.
 	Seed int64
 }
@@ -79,6 +86,7 @@ func Listen(cfg NodeConfig) (*Node, error) {
 	// Fault decisions derive from the node seed (offset so they are not
 	// correlated with the protocol engine's own randomness).
 	n.tr.SeedFaults(cfg.Seed ^ 0x5bd1e995)
+	n.tr.Instrument(cfg.Metrics)
 	return n, nil
 }
 
@@ -124,12 +132,14 @@ func (n *Node) Start() error {
 		Naming:  n.cfg.Naming,
 		Upcalls: n.cfg.Upcalls,
 		Tracer:  n.cfg.Tracer,
+		Metrics: n.cfg.Metrics,
 	}, n.mux)
 	for _, sp := range n.cfg.NameServers {
 		if sp == n.cfg.PID {
 			n.srv = naming.NewServer(naming.ServerParams{
 				Net: n.tr, PID: n.cfg.PID, Peers: n.cfg.NameServers,
 				Config: n.cfg.Naming, Tracer: n.cfg.Tracer,
+				Metrics: n.cfg.Metrics,
 			})
 			n.mux.Handle(naming.ServerPrefix, n.srv.HandleMessage)
 			n.srv.Start()
@@ -140,6 +150,10 @@ func (n *Node) Start() error {
 	n.d.Start()
 	return nil
 }
+
+// Registry returns the node's metrics registry (nil when metrics are
+// disabled). Safe from any goroutine — instruments are atomic.
+func (n *Node) Registry() *metrics.Registry { return n.cfg.Metrics }
 
 // Do runs fn against the endpoint on the protocol goroutine and waits
 // for it (the only safe way to issue Join/Leave/Send or read views from

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"plwg/internal/ids"
+	"plwg/internal/metrics"
 	"plwg/internal/netsim"
 	"plwg/internal/sim"
 	"plwg/internal/wire"
@@ -59,12 +60,45 @@ type Transport struct {
 	// the send path. Mutable from any goroutine (see faults.go).
 	faults *faultTable
 
+	// ins holds the wire-level instruments. Counters are atomic and
+	// nil-safe, so the reader goroutine and timer callbacks may bump
+	// them without coordination.
+	ins transportMetrics
+
 	closeOnce sync.Once
 	closed    chan struct{}
 	readerWG  sync.WaitGroup
 }
 
 var _ netsim.Transport = (*Transport)(nil)
+
+// transportMetrics are the transport's wire-level instruments. With
+// metrics disabled every field is nil and the nil-receiver methods
+// no-op.
+type transportMetrics struct {
+	dgramsSent *metrics.Counter
+	bytesSent  *metrics.Counter
+	dgramsRecv *metrics.Counter
+	bytesRecv  *metrics.Counter
+	faultDrops *metrics.Counter
+}
+
+// Instrument resolves the transport's counters from the registry (nil
+// disables them). Call before Start.
+func (t *Transport) Instrument(r *metrics.Registry) {
+	t.ins = transportMetrics{
+		dgramsSent: r.Counter("rtnet_datagrams_sent_total"),
+		bytesSent:  r.Counter("rtnet_bytes_sent_total"),
+		dgramsRecv: r.Counter("rtnet_datagrams_recv_total"),
+		bytesRecv:  r.Counter("rtnet_bytes_recv_total"),
+		faultDrops: r.Counter("rtnet_fault_drops_total"),
+	}
+}
+
+func (t *Transport) countSend(n int) {
+	t.ins.dgramsSent.Inc()
+	t.ins.bytesSent.Add(int64(n))
+}
 
 // NewTransport builds the node's transport on an already-bound UDP
 // connection. peers maps every process (other than this one) to its UDP
@@ -174,15 +208,18 @@ func (t *Transport) sendChunks(to ids.ProcessID, addr *net.UDPAddr, chunks [][]b
 	for _, c := range chunks {
 		send, delays := t.faults.plan(to)
 		if !send {
+			t.ins.faultDrops.Inc()
 			continue
 		}
 		if delays == nil {
 			_, _ = t.conn.WriteToUDP(c, addr)
+			t.countSend(len(c))
 			continue
 		}
 		for _, d := range delays {
 			if d <= 0 {
 				_, _ = t.conn.WriteToUDP(c, addr)
+				t.countSend(len(c))
 				continue
 			}
 			c := c
@@ -191,6 +228,7 @@ func (t *Transport) sendChunks(to ids.ProcessID, addr *net.UDPAddr, chunks [][]b
 				case <-t.closed:
 				default:
 					_, _ = t.conn.WriteToUDP(c, addr)
+					t.countSend(len(c))
 				}
 			})
 		}
@@ -268,6 +306,8 @@ func (t *Transport) readLoop() {
 				continue
 			}
 		}
+		t.ins.dgramsRecv.Inc()
+		t.ins.bytesRecv.Add(int64(n))
 		data, err := reasm.add(raddr.String(), buf[:n])
 		if err != nil || data == nil {
 			continue // malformed, or more chunks to come

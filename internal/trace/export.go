@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"plwg/internal/ids"
+	"plwg/internal/sim"
+)
+
+// jsonViewID is the wire form of a view identifier.
+type jsonViewID struct {
+	Coord int32  `json:"coord"`
+	Seq   uint64 `json:"seq"`
+}
+
+func toJSONViewID(v ids.ViewID) *jsonViewID {
+	if v.IsZero() {
+		return nil
+	}
+	return &jsonViewID{Coord: int32(v.Coord), Seq: v.Seq}
+}
+
+func fromJSONViewID(v *jsonViewID) ids.ViewID {
+	if v == nil {
+		return ids.ZeroView
+	}
+	return ids.ViewID{Coord: ids.ProcessID(v.Coord), Seq: v.Seq}
+}
+
+// jsonEvent is the JSONL wire form of one Event. Optional fields are
+// omitted when zero, so the common events stay one short line each.
+type jsonEvent struct {
+	AtNs    int64        `json:"at_ns"`
+	Node    int32        `json:"node"`
+	Layer   string       `json:"layer"`
+	What    string       `json:"what"`
+	Text    string       `json:"text,omitempty"`
+	Group   string       `json:"group,omitempty"`
+	View    *jsonViewID  `json:"view,omitempty"`
+	Members []int32      `json:"members,omitempty"`
+	Parents []jsonViewID `json:"parents,omitempty"`
+	Src     int32        `json:"src,omitempty"`
+	Data    string       `json:"data,omitempty"`
+	Ref     string       `json:"ref,omitempty"`
+	Step    int          `json:"step,omitempty"`
+}
+
+func toJSONEvent(e Event) jsonEvent {
+	je := jsonEvent{
+		AtNs:  int64(e.At),
+		Node:  int32(e.Node),
+		Layer: e.Layer,
+		What:  e.What,
+		Text:  e.Text,
+		Group: e.Group,
+		View:  toJSONViewID(e.View),
+		Src:   int32(e.Src),
+		Data:  e.Data,
+		Ref:   e.Ref,
+		Step:  e.Step,
+	}
+	for _, m := range e.Members {
+		je.Members = append(je.Members, int32(m))
+	}
+	for _, p := range e.Parents {
+		je.Parents = append(je.Parents, jsonViewID{Coord: int32(p.Coord), Seq: p.Seq})
+	}
+	return je
+}
+
+func fromJSONEvent(je jsonEvent) Event {
+	e := Event{
+		At:    sim.Time(je.AtNs),
+		Node:  ids.ProcessID(je.Node),
+		Layer: je.Layer,
+		What:  je.What,
+		Text:  je.Text,
+		Group: je.Group,
+		View:  fromJSONViewID(je.View),
+		Src:   ids.ProcessID(je.Src),
+		Data:  je.Data,
+		Ref:   je.Ref,
+		Step:  je.Step,
+	}
+	for _, m := range je.Members {
+		e.Members = append(e.Members, ids.ProcessID(m))
+	}
+	for _, p := range je.Parents {
+		e.Parents = append(e.Parents, ids.ViewID{Coord: ids.ProcessID(p.Coord), Seq: p.Seq})
+	}
+	return e
+}
+
+// WriteJSONL writes the events as JSON Lines: one self-contained JSON
+// object per event, in input order. The format round-trips through
+// ParseJSONL, which is what the trace explain tooling and the
+// span-stitching tests consume.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	for _, e := range events {
+		if err := enc.Encode(toJSONEvent(e)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseJSONL parses a JSON Lines export back into events. Blank lines
+// are skipped; a malformed line fails with its 1-based line number.
+func ParseJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal([]byte(text), &je); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, fromJSONEvent(je))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto). Virtual-time nanoseconds map onto the
+// format's microsecond timestamps; nodes map onto pids so the viewer
+// lays the cluster out as one track per node, with the protocol layers
+// as threads.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	DurUs float64        `json:"dur,omitempty"` // "X" phase only
+	PID   int32          `json:"pid"`
+	TID   string         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the events in the Chrome trace-event JSON
+// format, loadable in chrome://tracing or Perfetto: every protocol
+// event becomes an instant event on its node's track, and every
+// stitched multi-event operation (see Stitch) additionally becomes a
+// duration span on a per-node "ops" thread, so a switch or a
+// MERGE-VIEWS round is visible as one bar per participating node.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name:  e.What,
+			Phase: "i",
+			TsUs:  float64(e.At) / 1e3,
+			PID:   int32(e.Node),
+			TID:   e.Layer,
+			Scope: "p",
+			Args:  chromeArgs(e),
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+	for _, op := range Stitch(events) {
+		if len(op.Events) < 2 || op.End <= op.Start {
+			continue
+		}
+		// One spanning bar per participating node, bounded by the
+		// node's own first and last event of the operation.
+		starts := make(map[ids.ProcessID]sim.Time)
+		ends := make(map[ids.ProcessID]sim.Time)
+		for _, e := range op.Events {
+			if s, ok := starts[e.Node]; !ok || e.At < s {
+				starts[e.Node] = e.At
+			}
+			if s, ok := ends[e.Node]; !ok || e.At > s {
+				ends[e.Node] = e.At
+			}
+		}
+		for _, n := range op.Nodes {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name:  op.Key.String(),
+				Phase: "X",
+				TsUs:  float64(starts[n]) / 1e3,
+				DurUs: float64(ends[n]-starts[n]) / 1e3,
+				PID:   int32(n),
+				TID:   "ops",
+				Args: map[string]any{
+					"kind":     op.Key.Kind,
+					"group":    op.Key.Group,
+					"nodes":    len(op.Nodes),
+					"events":   len(op.Events),
+					"span_all": fmt.Sprintf("%v..%v", op.Start.Seconds(), op.End.Seconds()),
+				},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// chromeArgs renders an event's structured payload for the viewer's
+// detail pane.
+func chromeArgs(e Event) map[string]any {
+	args := make(map[string]any, 8)
+	if e.Text != "" {
+		args["text"] = e.Text
+	}
+	if e.Group != "" {
+		args["group"] = e.Group
+	}
+	if !e.View.IsZero() {
+		args["view"] = e.View.String()
+	}
+	if len(e.Members) > 0 {
+		args["members"] = e.Members.String()
+	}
+	if len(e.Parents) > 0 {
+		args["parents"] = e.Parents.String()
+	}
+	if e.Src != 0 || e.What == LWGDeliver || e.What == LWGSend {
+		args["src"] = e.Src.String()
+	}
+	if e.Data != "" {
+		args["data"] = e.Data
+	}
+	if e.Ref != "" {
+		args["ref"] = e.Ref
+	}
+	if e.Step != 0 {
+		args["step"] = e.Step
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}

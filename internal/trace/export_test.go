@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"plwg/internal/ids"
+	"plwg/internal/sim"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// sampleEvents is a small but representative trace: a three-node LWG
+// with a view install, sends/deliveries, a switch and a merge step.
+func sampleEvents() []Event {
+	at := func(ms int) sim.Time { return sim.Time(time.Duration(ms) * time.Millisecond) }
+	v1 := ids.ViewID{Coord: 0, Seq: 1}
+	v2 := ids.ViewID{Coord: 0, Seq: 2}
+	hv := ids.ViewID{Coord: 0, Seq: 7}
+	var events []Event
+	for _, n := range []ids.ProcessID{0, 1, 2} {
+		events = append(events, Event{
+			At: at(10 + int(n)), Node: n, Layer: "lwg", What: LWGViewInstall,
+			Group: "chat", View: v1, Members: ids.NewMembers(0, 1, 2),
+			Parents: ids.ViewIDs{{Coord: 0, Seq: 0}},
+		})
+	}
+	events = append(events,
+		Event{At: at(20), Node: 1, Layer: "lwg", What: LWGSend,
+			Group: "chat", View: v1, Src: 1, Data: "m1"},
+		Event{At: at(22), Node: 0, Layer: "lwg", What: LWGDeliver,
+			Group: "chat", View: v1, Src: 1, Data: "m1"},
+		Event{At: at(22), Node: 2, Layer: "lwg", What: LWGDeliver,
+			Group: "chat", View: v1, Src: 1, Data: "m1"},
+		Event{At: at(30), Node: 0, Layer: "lwg", What: LWGSwitch,
+			Group: "chat", View: v1, Ref: "hwg3", Text: "hwg1 -> hwg3"},
+	)
+	for _, n := range []ids.ProcessID{0, 1, 2} {
+		events = append(events, Event{
+			At: at(34 + int(n)), Node: n, Layer: "lwg", What: LWGRebind,
+			Group: "chat", View: v2, Ref: "hwg3", Text: "re-bound to hwg3",
+		})
+	}
+	for _, n := range []ids.ProcessID{0, 1, 2} {
+		events = append(events, Event{
+			At: at(40 + int(n)), Node: n, Layer: "lwg", What: LWGMergeStep,
+			Group: "hwg3", View: hv, Step: 4, Ref: "chat", Data: v2.String(),
+		})
+	}
+	return events
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(events, back) {
+		t.Errorf("round trip mismatch:\n got %#v\nwant %#v", back, events)
+	}
+}
+
+func TestParseJSONLSkipsBlanksRejectsGarbage(t *testing.T) {
+	events, err := ParseJSONL(bytes.NewBufferString(
+		"\n{\"at_ns\":1,\"node\":0,\"layer\":\"lwg\",\"what\":\"x\"}\n\n"))
+	if err != nil || len(events) != 1 {
+		t.Fatalf("parse = %v events, err %v", len(events), err)
+	}
+	if _, err := ParseJSONL(bytes.NewBufferString("{\n")); err == nil {
+		t.Error("garbage line did not fail")
+	}
+}
+
+// TestChromeTraceGolden pins the Chrome trace-event export byte-for-byte
+// against testdata/chrome_trace.golden. Regenerate deliberately with
+// go test ./internal/trace -run ChromeTraceGolden -update-golden.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome trace export drifted from golden file.\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+func TestStitchSyntheticOps(t *testing.T) {
+	ops := Stitch(sampleEvents())
+	byKind := make(map[string][]Op)
+	for _, op := range ops {
+		byKind[op.Key.Kind] = append(byKind[op.Key.Kind], op)
+	}
+	view := byKind["lwg-view"]
+	if len(view) != 1 || len(view[0].Nodes) != 3 {
+		t.Errorf("lwg-view ops = %+v, want one op over 3 nodes", view)
+	}
+	sw := byKind["switch"]
+	if len(sw) != 1 {
+		t.Fatalf("switch ops = %+v, want 1", sw)
+	}
+	if len(sw[0].Nodes) != 3 || len(sw[0].Events) != 4 {
+		t.Errorf("switch op: nodes=%v events=%d, want 3 nodes / 4 events (announce + 3 rebinds)",
+			sw[0].Nodes, len(sw[0].Events))
+	}
+	mv := byKind["merge-views"]
+	if len(mv) != 1 || len(mv[0].Nodes) != 3 {
+		t.Errorf("merge-views ops = %+v, want one op over 3 nodes", mv)
+	}
+	// Events inside an op are (time, node)-ordered.
+	for _, op := range ops {
+		for i := 1; i < len(op.Events); i++ {
+			a, b := op.Events[i-1], op.Events[i]
+			if a.At > b.At || (a.At == b.At && a.Node > b.Node) {
+				t.Errorf("op %v events out of order at %d", op.Key, i)
+			}
+		}
+	}
+	// Explain renders every event of the op.
+	text := Explain(sw[0])
+	if want := "switch chat→hwg3"; !bytes.Contains([]byte(text), []byte(want)) {
+		t.Errorf("Explain missing %q:\n%s", want, text)
+	}
+}

@@ -1,0 +1,85 @@
+package trace
+
+import "sync"
+
+// Snapshotter is implemented by tracers that can report the events
+// recorded so far (SyncRecorder, Ring). The debug endpoints use it to
+// expose live trace snapshots without knowing the tracer's shape.
+type Snapshotter interface {
+	Snapshot() []Event
+}
+
+var (
+	_ Snapshotter = (*SyncRecorder)(nil)
+	_ Snapshotter = (*Ring)(nil)
+)
+
+// Ring is a bounded, concurrency-safe tracer for production paths: it
+// keeps the most recent capacity events and silently drops the oldest
+// when full, so a long-running node can leave tracing enabled with a
+// fixed memory ceiling and no backpressure onto the protocol
+// goroutines. Trace is O(1) — one short critical section and one slot
+// assignment, never an allocation or a growing append.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64 // events ever traced; total - len(buf) were dropped
+}
+
+var _ Tracer = (*Ring)(nil)
+
+// DefaultRingCapacity is the event capacity used when NewRing is given
+// a non-positive one.
+const DefaultRingCapacity = 65536
+
+// NewRing creates a ring tracer holding at most capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Trace implements Tracer: record e, overwriting the oldest retained
+// event when the ring is full.
+func (r *Ring) Trace(e Event) {
+	r.mu.Lock()
+	r.buf[r.total%uint64(len(r.buf))] = e
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns a copy of the retained events, oldest first.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.total
+	cap64 := uint64(len(r.buf))
+	if n > cap64 {
+		n = cap64
+	}
+	out := make([]Event, 0, n)
+	start := r.total - n
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.buf[(start+i)%cap64])
+	}
+	return out
+}
+
+// Total returns how many events were ever traced.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many events were overwritten before being
+// snapshotted.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.total <= uint64(len(r.buf)) {
+		return 0
+	}
+	return r.total - uint64(len(r.buf))
+}

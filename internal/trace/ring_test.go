@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"plwg/internal/ids"
+	"plwg/internal/sim"
+)
+
+func TestRingDropsOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Trace(Event{At: sim.Time(i), Text: fmt.Sprintf("e%d", i)})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("retained %d events, want 4", len(snap))
+	}
+	for i, e := range snap {
+		if want := fmt.Sprintf("e%d", 6+i); e.Text != want {
+			t.Errorf("snapshot[%d] = %q, want %q (oldest-first, newest retained)", i, e.Text, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("Total = %d, want 10", r.Total())
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", r.Dropped())
+	}
+}
+
+func TestRingBelowCapacity(t *testing.T) {
+	r := NewRing(8)
+	r.Trace(Event{Text: "a"})
+	r.Trace(Event{Text: "b"})
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Text != "a" || snap[1].Text != "b" {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", r.Dropped())
+	}
+}
+
+func TestRingDefaultCapacity(t *testing.T) {
+	r := NewRing(0)
+	r.Trace(Event{})
+	if got := len(r.buf); got != DefaultRingCapacity {
+		t.Errorf("default capacity = %d, want %d", got, DefaultRingCapacity)
+	}
+}
+
+// TestRingConcurrentNonBlocking drives many concurrent senders into a
+// tiny ring with NO reader draining it, and asserts (a) every sender
+// completes promptly — a full ring never blocks or backpressures the
+// protocol goroutines, it drops the oldest events instead — and (b) the
+// retained window is exactly the newest events by total order. Run
+// under -race this also proves the synchronization is sound.
+func TestRingConcurrentNonBlocking(t *testing.T) {
+	const (
+		senders   = 8
+		perSender = 5000
+		capacity  = 64
+	)
+	r := NewRing(capacity)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				r.Trace(Event{Node: ids.ProcessID(s), At: sim.Time(i)})
+			}
+		}(s)
+	}
+	// Concurrent snapshots must not disturb the senders.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			if got := len(r.Snapshot()); got > capacity {
+				t.Errorf("snapshot longer than capacity: %d", got)
+				return
+			}
+		}
+	}()
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("senders blocked on a full, undrained ring")
+	}
+	if got := r.Total(); got != senders*perSender {
+		t.Errorf("Total = %d, want %d", got, senders*perSender)
+	}
+	if got := r.Dropped(); got != senders*perSender-capacity {
+		t.Errorf("Dropped = %d, want %d", got, senders*perSender-capacity)
+	}
+	if got := len(r.Snapshot()); got != capacity {
+		t.Errorf("retained %d, want %d", got, capacity)
+	}
+}
+
+func BenchmarkRingTrace(b *testing.B) {
+	r := NewRing(DefaultRingCapacity)
+	e := Event{Node: 3, Layer: "lwg", What: LWGSend, Group: "g", Data: "m1"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.At = sim.Time(i)
+		r.Trace(e)
+	}
+}

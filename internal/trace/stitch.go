@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"plwg/internal/ids"
+	"plwg/internal/sim"
+)
+
+// OpKey is the cross-node correlation key of one protocol operation.
+// Events traced by different nodes while executing the same logical
+// operation share a key:
+//
+//   - "lwg-view": installations of one LWG view, keyed by (Group, View)
+//     — view identifiers are globally unique (Section 5.1), so every
+//     member's install of the view stitches together.
+//   - "switch": a switching operation, keyed by (Group, Ref=target
+//     HWG): the coordinator's announcement plus every member's re-bind.
+//   - "merge-views": one MERGE-VIEWS execution, keyed by (Group=HWG,
+//     View=the HWG view the steps run in).
+//   - "flush": one vsync flush round, keyed by (Group=HWG, Ref=epoch).
+type OpKey struct {
+	Kind  string
+	Group string
+	View  ids.ViewID
+	Ref   string
+}
+
+// String renders the key compactly ("switch g→hwg3", "merge-views
+// hwg5@p0/7", ...).
+func (k OpKey) String() string {
+	switch k.Kind {
+	case "switch":
+		return fmt.Sprintf("switch %s→%s", k.Group, k.Ref)
+	case "flush":
+		return fmt.Sprintf("flush %s %s", k.Group, k.Ref)
+	case "merge-views":
+		return fmt.Sprintf("merge-views %s@%v", k.Group, k.View)
+	default:
+		return fmt.Sprintf("%s %s %v", k.Kind, k.Group, k.View)
+	}
+}
+
+// Op is one stitched operation: the events of all participating nodes,
+// in (time, node) order.
+type Op struct {
+	Key    OpKey
+	Events []Event
+	// Nodes are the distinct participants, sorted.
+	Nodes ids.Members
+	// Start and End bound the operation across all nodes.
+	Start, End sim.Time
+}
+
+// opKeyOf classifies an event into the operation it belongs to; ok is
+// false for events that are not part of a stitchable operation.
+func opKeyOf(e Event) (OpKey, bool) {
+	switch e.What {
+	case LWGViewInstall:
+		return OpKey{Kind: "lwg-view", Group: e.Group, View: e.View}, true
+	case LWGSwitch, LWGRebind:
+		if e.Ref == "" {
+			return OpKey{}, false
+		}
+		return OpKey{Kind: "switch", Group: e.Group, Ref: e.Ref}, true
+	case LWGMergeStep:
+		if e.View.IsZero() {
+			return OpKey{}, false
+		}
+		return OpKey{Kind: "merge-views", Group: e.Group, View: e.View}, true
+	case HWGFlushStart, HWGFlushDone, "stopped", "stop-ok":
+		if e.Ref == "" {
+			return OpKey{}, false
+		}
+		return OpKey{Kind: "flush", Group: e.Group, Ref: e.Ref}, true
+	default:
+		return OpKey{}, false
+	}
+}
+
+// Stitch groups the events of a (possibly multi-node) trace into
+// cross-node operations and returns them ordered by start time. Events
+// that belong to no operation are ignored. This is how a single LWG
+// switch or MERGE-VIEWS round is reconstructed across every node that
+// took part in it, from nothing but the exported spans.
+func Stitch(events []Event) []Op {
+	byKey := make(map[OpKey]*Op)
+	var order []OpKey
+	for _, e := range events {
+		key, ok := opKeyOf(e)
+		if !ok {
+			continue
+		}
+		op := byKey[key]
+		if op == nil {
+			op = &Op{Key: key, Start: e.At, End: e.At}
+			byKey[key] = op
+			order = append(order, key)
+		}
+		op.Events = append(op.Events, e)
+		if e.At < op.Start {
+			op.Start = e.At
+		}
+		if e.At > op.End {
+			op.End = e.At
+		}
+	}
+	out := make([]Op, 0, len(order))
+	for _, key := range order {
+		op := byKey[key]
+		sort.SliceStable(op.Events, func(i, j int) bool {
+			a, b := op.Events[i], op.Events[j]
+			if a.At != b.At {
+				return a.At < b.At
+			}
+			return a.Node < b.Node
+		})
+		var nodes []ids.ProcessID
+		for _, e := range op.Events {
+			nodes = append(nodes, e.Node)
+		}
+		op.Nodes = ids.NewMembers(nodes...)
+		out = append(out, *op)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Key.String() < out[j].Key.String()
+	})
+	return out
+}
+
+// Explain renders a stitched operation as a human-readable multi-line
+// timeline (one line per event), for the lwgcheck -trace explain mode.
+func Explain(op Op) string {
+	s := fmt.Sprintf("%s  nodes=%v  %0.4fs..%0.4fs\n",
+		op.Key, op.Nodes, op.Start.Seconds(), op.End.Seconds())
+	for _, e := range op.Events {
+		detail := e.Text
+		if e.Step != 0 {
+			detail = fmt.Sprintf("step %d: %s", e.Step, detail)
+		}
+		s += fmt.Sprintf("  %10.4fs %-4v %-5s %-12s %s\n",
+			e.At.Seconds(), e.Node, e.Layer, e.What, detail)
+	}
+	return s
+}

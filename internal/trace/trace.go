@@ -28,6 +28,39 @@ const (
 	// HWGViewInstall marks a heavy-weight group view installation. The
 	// event carries Group, View and Members.
 	HWGViewInstall = "view-install"
+
+	// LWGSwitch marks a switch announcement: the LWG view's coordinator
+	// instructs the members to re-map the group onto another HWG. The
+	// event carries Group (the LWG), View (the view being switched) and
+	// Ref (the target HWG). Every member's matching LWGRebind carries
+	// the same Group and Ref, which is the cross-node correlation key of
+	// the switching operation.
+	LWGSwitch = "lwg-switch"
+	// LWGRebind marks one member completing a switch: it is now bound to
+	// the target HWG. The event carries Group, View (the view bound on
+	// the target) and Ref (the target HWG).
+	LWGRebind = "lwg-rebind"
+	// LWGMergeStep marks one step of the Figure 5 MERGE-VIEWS protocol
+	// executing at one member. The event carries Group (the HWG the
+	// merge runs on), View (the HWG view it executes in — the cross-node
+	// correlation key), Step (1 trigger, 2 mapped-views exchange,
+	// 3 forced flush, 4 reconcile/merge) and, for step 4, Ref (the LWG
+	// being reconciled) plus Data (the merged LWG view identifier).
+	LWGMergeStep = "merge-step"
+	// HWGFlushStart / HWGFlushDone bracket a vsync flush round. Both
+	// carry Group, View (the view being flushed) and Ref (the round's
+	// epoch — the cross-node correlation key; responders' "stopped"
+	// events carry the same Ref).
+	HWGFlushStart = "flush-start"
+	// HWGFlushDone — see HWGFlushStart.
+	HWGFlushDone = "flush-done"
+	// HWGRetrans marks a retransmission of stored messages to a peer
+	// that NACKed a gap. The event carries Group, View and Ref (the
+	// requesting process).
+	HWGRetrans = "retransmit"
+	// NSDigest marks one leg of a naming-service digest/delta
+	// anti-entropy exchange. The event carries Ref (the peer).
+	NSDigest = "ns-digest"
 )
 
 // Event is one traced protocol event.
@@ -58,6 +91,14 @@ type Event struct {
 	Src ids.ProcessID
 	// Data is the (stringified) payload of a sent/delivered message.
 	Data string
+	// Ref is a free-form correlation reference: the target HWG of a
+	// switch, the epoch of a flush round, the peer of a digest
+	// exchange. Events of one cross-node operation share it (see
+	// Stitch).
+	Ref string
+	// Step numbers the protocol step within a multi-step operation
+	// (MERGE-VIEWS steps 1–4); zero elsewhere.
+	Step int
 }
 
 // String renders the event as a single log line.

@@ -118,6 +118,9 @@ type member struct {
 // reconfig is the initiator-side state of one flush round.
 type reconfig struct {
 	epoch epoch
+	// startedAt is when the round began, for the flush-duration
+	// histogram observed at completion.
+	startedAt sim.Time
 	// targets maps each old view being flushed to its expected
 	// responders.
 	targets map[ids.ViewID]ids.Members
@@ -251,6 +254,7 @@ func (m *member) send(p Payload) {
 		return
 	}
 	m.nextSeq++
+	m.st.ins.sends.Inc()
 	m.multicast(&msgData{
 		GID:     m.gid,
 		View:    m.view.ID,
@@ -361,6 +365,7 @@ func (m *member) deliverData(d *msgData, ack bool) {
 
 // appDeliver hands a message to the user.
 func (m *member) appDeliver(d *msgData) {
+	m.st.ins.deliveries.Inc()
 	if m.st.up != nil {
 		m.st.up.Data(m.gid, d.Sender, d.Payload)
 	}
@@ -557,6 +562,7 @@ func (m *member) scanGaps() {
 			continue
 		}
 		sortKeys(keys)
+		m.st.ins.nacks.Inc()
 		m.unicast(p, &msgNack{GID: m.gid, From: m.st.pid, Keys: keys})
 	}
 }
@@ -576,6 +582,14 @@ func (m *member) onNack(from ids.ProcessID, n *msgNack) {
 		}
 	}
 	if len(msgs) > 0 {
+		m.st.ins.retransMsgs.Add(int64(len(msgs)))
+		m.st.traceEvent(trace.Event{
+			What:  trace.HWGRetrans,
+			Group: m.gid.String(),
+			View:  m.view.ID,
+			Src:   from,
+			Text:  fmt.Sprintf("%d msgs for %v", len(msgs), from),
+		})
 		m.unicast(from, &msgRetrans{GID: m.gid, Msgs: msgs})
 	}
 }
@@ -644,6 +658,7 @@ func (m *member) checkFailures() {
 		delete(m.fdStrikes, p)
 		m.suspects[p] = true
 		changed = true
+		m.st.ins.suspects.Inc()
 		m.st.trace(m.gid, "suspect", "%v", p)
 	}
 	if !changed && len(m.suspects) == 0 {
@@ -830,6 +845,7 @@ func (m *member) install(v ids.View) {
 	if v.ID.Coord == m.st.pid {
 		m.st.observeViewSeq(m.gid, v.ID.Seq)
 	}
+	m.st.ins.viewInstalls.Inc()
 	m.st.traceEvent(trace.Event{
 		What:    trace.HWGViewInstall,
 		Text:    fmt.Sprintf("%v: %v%s", m.gid, v.ID, v.Members),

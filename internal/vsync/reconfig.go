@@ -1,7 +1,10 @@
 package vsync
 
 import (
+	"fmt"
+
 	"plwg/internal/ids"
+	"plwg/internal/trace"
 )
 
 // This file implements the view-change (flush) protocol.
@@ -18,6 +21,20 @@ import (
 // defects to a STOP from a lower-numbered initiator, and an initiator
 // aborts its own round when it finds itself stopped by a lower-numbered
 // one. Unresponsive initiators are survived via ResponderTimeout.
+
+// traceRound emits a structured flush-round event. Every event of one
+// round — the initiator's flush-start/flush-done and each responder's
+// stopped/stop-ok — carries (Group, Ref=epoch), the cross-node
+// correlation key trace.Stitch reassembles the round from.
+func (m *member) traceRound(what string, e epoch, format string, args ...any) {
+	m.st.traceEvent(trace.Event{
+		What:  what,
+		Group: m.gid.String(),
+		View:  m.view.ID,
+		Ref:   e.String(),
+		Text:  fmt.Sprintf(format, args...),
+	})
+}
 
 // maybeReconfigure starts a view change over the member's own view,
 // excluding current suspects, removing pending leavers and admitting
@@ -95,18 +112,20 @@ func (m *member) startRound(reason string, targets map[ids.ViewID]ids.Members) {
 	joiners = ids.NewMembers(joiners...)
 
 	rc := &reconfig{
-		epoch:   m.st.nextEpoch(),
-		targets: targets,
-		joiners: joiners,
-		got:     make(map[ids.ProcessID]*msgFlushOk),
+		epoch:     m.st.nextEpoch(),
+		startedAt: m.st.clock.Now(),
+		targets:   targets,
+		joiners:   joiners,
+		got:       make(map[ids.ProcessID]*msgFlushOk),
 	}
 	rc.expected = joiners
 	for _, mm := range targets {
 		rc.expected = rc.expected.Union(mm)
 	}
 	m.rc = rc
-	m.st.trace(m.gid, "flush-start", "%s epoch=%v targets=%d expected=%s",
-		reason, rc.epoch, len(targets), rc.expected)
+	m.st.ins.flushRounds.Inc()
+	m.traceRound(trace.HWGFlushStart, rc.epoch, "%s targets=%d expected=%s",
+		reason, len(targets), rc.expected)
 	m.sendStop()
 }
 
@@ -137,6 +156,7 @@ func (m *member) onFlushTimeout() {
 	}
 	rc.attempts++
 	if rc.attempts >= m.st.cfg.MaxFlushAttempts {
+		m.st.ins.flushAborts.Inc()
 		m.st.trace(m.gid, "flush-abort", "epoch=%v after %d attempts", rc.epoch, rc.attempts)
 		m.abortRound()
 		return
@@ -268,7 +288,7 @@ func (m *member) onStop(from ids.ProcessID, s *msgStop) {
 }
 
 func (m *member) enterStopped(e epoch) {
-	m.st.trace(m.gid, "stopped", "epoch=%v", e)
+	m.traceRound("stopped", e, "by %v", e.Initiator)
 	m.state = stateStopped
 	m.stopEpoch = e
 	if m.respTimer != nil {
@@ -287,7 +307,7 @@ func (m *member) stopOk() error {
 	if !m.stopPending {
 		return ErrNoStopPending
 	}
-	m.st.trace(m.gid, "stop-ok", "epoch=%v", m.stopEpoch)
+	m.traceRound("stop-ok", m.stopEpoch, "app quiesced")
 	m.stopPending = false
 	m.sendFlushOk()
 	return nil
@@ -540,8 +560,15 @@ func (m *member) finishRound(fills map[msgKey]*msgData) {
 		PrevViews: prev,
 		FlushData: flushData,
 	}
-	m.st.trace(m.gid, "flush-done", "epoch=%v newview=%v%s retrans=%d",
-		rc.epoch, nv.View.ID, nv.View.Members, len(nv.FlushData))
+	m.st.ins.flushDur.Observe(m.st.clock.Now().Sub(rc.startedAt))
+	m.st.traceEvent(trace.Event{
+		What:    trace.HWGFlushDone,
+		Group:   m.gid.String(),
+		View:    nv.View.ID,
+		Ref:     rc.epoch.String(),
+		Members: nv.View.Members.Clone(),
+		Text:    fmt.Sprintf("newview=%v%s retrans=%d", nv.View.ID, nv.View.Members, len(nv.FlushData)),
+	})
 	m.multicast(nv)
 }
 

@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"plwg/internal/ids"
+	"plwg/internal/metrics"
 	"plwg/internal/netsim"
 	"plwg/internal/sim"
 	"plwg/internal/trace"
@@ -59,6 +60,37 @@ type Params struct {
 	Config  Config
 	Upcalls Upcalls
 	Tracer  trace.Tracer
+	// Metrics receives the stack's instrumentation; nil disables it at
+	// zero hot-path cost.
+	Metrics *metrics.Registry
+}
+
+// stackMetrics are the Stack's pre-resolved instruments. The zero value
+// (nil handles, from a nil registry) is fully disabled.
+type stackMetrics struct {
+	sends        *metrics.Counter
+	deliveries   *metrics.Counter
+	nacks        *metrics.Counter
+	retransMsgs  *metrics.Counter
+	flushRounds  *metrics.Counter
+	flushAborts  *metrics.Counter
+	viewInstalls *metrics.Counter
+	suspects     *metrics.Counter
+	flushDur     *metrics.Histo
+}
+
+func newStackMetrics(r *metrics.Registry) stackMetrics {
+	return stackMetrics{
+		sends:        r.Counter("hwg_sends_total"),
+		deliveries:   r.Counter("hwg_deliveries_total"),
+		nacks:        r.Counter("hwg_nacks_total"),
+		retransMsgs:  r.Counter("hwg_retrans_msgs_total"),
+		flushRounds:  r.Counter("hwg_flush_rounds_total"),
+		flushAborts:  r.Counter("hwg_flush_aborts_total"),
+		viewInstalls: r.Counter("hwg_view_installs_total"),
+		suspects:     r.Counter("hwg_suspects_total"),
+		flushDur:     r.Histogram("hwg_flush_duration"),
+	}
 }
 
 // Stack is one process's heavy-weight group endpoint. It can be a member
@@ -71,6 +103,7 @@ type Stack struct {
 	cfg    Config
 	up     Upcalls
 	tracer trace.Tracer
+	ins    stackMetrics
 
 	groups map[ids.HWGID]*member
 	// viewSeq is this process's per-group view-sequence counter: "a local
@@ -98,10 +131,15 @@ func NewStack(p Params) *Stack {
 		cfg:     cfg,
 		up:      p.Upcalls,
 		tracer:  tr,
+		ins:     newStackMetrics(p.Metrics),
 		groups:  make(map[ids.HWGID]*member),
 		viewSeq: make(map[ids.HWGID]uint64),
 	}
 }
+
+// NumGroups returns the number of groups the stack participates in
+// (allocation-free, for gauges).
+func (s *Stack) NumGroups() int { return len(s.groups) }
 
 // PID returns the process identifier of this endpoint.
 func (s *Stack) PID() ids.ProcessID { return s.pid }
