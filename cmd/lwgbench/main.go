@@ -45,10 +45,12 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("lwgbench", flag.ContinueOnError)
 	experiment := fs.String("experiment", "all",
-		"fig2-latency | fig2-throughput | fig2-recovery | fig-scale | all")
+		"fig2-latency | fig2-throughput | fig2-recovery | fig-scale | rt-throughput | all")
 	nsFlag := fs.String("ns", "1,2,4,8,16,32", "comma-separated groups-per-set sweep")
 	groupsFlag := fs.String("groups", "64,256,1024,4096",
 		"comma-separated LWG-count sweep for fig-scale")
+	procsFlag := fs.String("procs", "1,4",
+		"comma-separated GOMAXPROCS sweep for rt-throughput")
 	seed := fs.Int64("seed", 1, "simulation seed (runs are deterministic per seed)")
 	measure := fs.Duration("measure", 5*time.Second, "virtual measurement window")
 	jsonPath := fs.String("json", "", "write machine-readable results to this file and exit")
@@ -62,6 +64,10 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 	groups, err := parseNs(*groupsFlag)
+	if err != nil {
+		return err
+	}
+	procs, err := parseNs(*procsFlag)
 	if err != nil {
 		return err
 	}
@@ -95,7 +101,7 @@ func run(args []string, out *os.File) error {
 	}
 
 	if *jsonPath != "" {
-		return writeJSON(*jsonPath, ns, groups, *seed, d, out)
+		return writeJSON(*jsonPath, ns, groups, procs, *seed, d, out)
 	}
 
 	fmt.Fprintf(out, "plwg evaluation — %d-node simulated 10 Mbps shared Ethernet, seed %d\n",
@@ -112,6 +118,8 @@ func run(args []string, out *os.File) error {
 		bench.Figure2Recovery(out, ns, *seed, d)
 	case "fig-scale":
 		bench.FigScale(out, groups, *seed, d)
+	case "rt-throughput":
+		bench.RTThroughput(out, procs, *measure, *seed)
 	case "all":
 		bench.Figure2Latency(out, ns, *seed, d)
 		fmt.Fprintln(out)
@@ -120,6 +128,8 @@ func run(args []string, out *os.File) error {
 		bench.Figure2Recovery(out, ns, *seed, d)
 		fmt.Fprintln(out)
 		bench.FigScale(out, groups, *seed, d)
+		fmt.Fprintln(out)
+		bench.RTThroughput(out, procs, *measure, *seed)
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
@@ -129,12 +139,14 @@ func run(args []string, out *os.File) error {
 // writeJSON runs the Figure 2 and fig-scale sweeps plus the codec
 // microbenchmarks and writes the flat record list (mode × metric ×
 // value).
-func writeJSON(path string, ns, groups []int, seed int64, d bench.Durations, out *os.File) error {
-	fmt.Fprintf(out, "writing %s (sweep %v, groups %v, seed %d, measure %v)\n",
-		path, ns, groups, seed, d.Measure)
+func writeJSON(path string, ns, groups, procs []int, seed int64, d bench.Durations, out *os.File) error {
+	fmt.Fprintf(out, "writing %s (sweep %v, groups %v, procs %v, seed %d, measure %v)\n",
+		path, ns, groups, procs, seed, d.Measure)
 	recs := bench.Figure2Records(out, ns, seed, d)
 	recs = append(recs, bench.FigScaleRecords(out, groups, seed, d)...)
 	recs = append(recs, bench.ObservabilityRecords(out, seed, d)...)
+	recs = append(recs, bench.RTThroughputRecords(out, procs, 3*time.Second, seed)...)
+	recs = append(recs, bench.RTAddrKeyRecords(out)...)
 	fmt.Fprintln(out, "  codec microbenchmarks...")
 	for _, s := range vsync.CodecBenchStats() {
 		parts := strings.SplitN(s.Name, "-", 2) // "encode-wire" -> op, codec

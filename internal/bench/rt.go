@@ -1,0 +1,339 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plwg/internal/core"
+	"plwg/internal/ids"
+	"plwg/internal/metrics"
+	"plwg/internal/rtnet"
+)
+
+// rt-throughput: the real-network data-plane experiment. Unlike the
+// Figure 2 sweeps (virtual time on the simulated bus), this one runs a
+// live loopback UDP cluster under wall-clock time and measures how many
+// messages per second the rtnet stack moves end to end — the number
+// that is bounded by syscalls and loop occupancy, not protocol cost.
+// Sweeping GOMAXPROCS separates protocol cost (unchanged at any core
+// count) from data-plane parallelism (the off-loop codec pipeline and
+// writer goroutines only help when there are cores to run them).
+
+// RTOptions configures one rt-throughput run.
+type RTOptions struct {
+	// Nodes is the cluster size (default 4). Every node joins one group
+	// and every node is a closed-loop sender.
+	Nodes int
+	// Window is the target number of outstanding messages per sender
+	// (default 8). Senders are ack-clocked: a remote delivery earns one
+	// credit and a send costs (Nodes-1) credits, so the aggregate send
+	// rate locks onto the rate the network actually drains instead of
+	// the rate the local loopback can absorb.
+	Window int
+	// Payload is the message payload size in bytes (default 1 KiB,
+	// matching the Figure 2 workload).
+	Payload int
+	// Inline runs the historical single-goroutine data plane (decode on
+	// the reader, one Driver.Do per packet, synchronous WriteToUDP on
+	// the loop) as the A/B baseline for the parallel pipeline.
+	Inline bool
+}
+
+func (o RTOptions) withDefaults() RTOptions {
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	if o.Window <= 0 {
+		o.Window = 8
+	}
+	if o.Payload < 16 {
+		o.Payload = MsgSize
+	}
+	return o
+}
+
+// RTResult is one cell of the rt-throughput experiment.
+type RTResult struct {
+	Converged bool
+	// Procs is the GOMAXPROCS the run executed under.
+	Procs int
+	// MsgsPerSec is the unique-message delivery rate: aggregate remote
+	// deliveries per second divided by (Nodes-1) — how many messages per
+	// second the data plane actually carries to every remote member.
+	MsgsPerSec float64
+	// DeliveriesPerSec is the aggregate remote-delivery rate across all
+	// receivers (MsgsPerSec × (Nodes-1)).
+	DeliveriesPerSec float64
+	// P99Ms is the p99 send→remote-delivery latency.
+	P99Ms float64
+	// RingOverflow is the rtnet_send_ring_overflow_total counter at the
+	// end of the run (0 on the inline path, which has no ring).
+	RingOverflow int64
+}
+
+// rtCollector receives one node's upcalls on its driver loop.
+type rtCollector struct {
+	pid ids.ProcessID
+
+	mu   sync.Mutex
+	view ids.View
+	ok   bool
+
+	measuring  *atomic.Bool
+	deliveries *atomic.Int64
+	lat        *metrics.Reservoir
+	latMu      *sync.Mutex
+	// credits is the node's ack clock: each remote delivery adds one,
+	// each send consumes (Nodes-1). kick nudges the feeder.
+	credits *atomic.Int64
+	kick    chan struct{}
+}
+
+func (c *rtCollector) View(_ ids.LWGID, v ids.View) {
+	c.mu.Lock()
+	c.view, c.ok = v.Clone(), true
+	c.mu.Unlock()
+}
+
+func (c *rtCollector) Data(_ ids.LWGID, src ids.ProcessID, data []byte) {
+	if len(data) < 8 || src == c.pid {
+		return
+	}
+	// A remote delivery earns one send credit (the ack clock).
+	c.credits.Add(1)
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+	if !c.measuring.Load() {
+		return
+	}
+	c.deliveries.Add(1)
+	sent := int64(binary.BigEndian.Uint64(data))
+	if d := time.Duration(time.Now().UnixNano() - sent); d > 0 {
+		c.latMu.Lock()
+		c.lat.Add(d)
+		c.latMu.Unlock()
+	}
+}
+
+func (c *rtCollector) converged(want ids.Members) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ok && c.view.Members.Equal(want)
+}
+
+// RunRTThroughput runs the closed-loop workload on a live loopback UDP
+// cluster under the given GOMAXPROCS and measures aggregate throughput
+// and tail latency. The GOMAXPROCS override is process-wide for the
+// duration of the run and restored afterwards.
+func RunRTThroughput(procs int, measure time.Duration, seed int64, o RTOptions) (RTResult, error) {
+	o = o.withDefaults()
+	if procs > 0 {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+	} else {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	res := RTResult{Procs: procs}
+
+	var (
+		measuring  atomic.Bool
+		deliveries atomic.Int64
+		latMu      sync.Mutex
+		lat        = metrics.NewReservoir(8192, seed)
+		reg        = metrics.NewRegistry()
+	)
+
+	nodes := make([]*rtnet.Node, o.Nodes)
+	cols := make([]*rtCollector, o.Nodes)
+	closeAll := func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	}
+	for i := 0; i < o.Nodes; i++ {
+		cols[i] = &rtCollector{
+			pid:        ids.ProcessID(i),
+			measuring:  &measuring,
+			deliveries: &deliveries,
+			lat:        lat,
+			latMu:      &latMu,
+			credits:    new(atomic.Int64),
+			kick:       make(chan struct{}, 1),
+		}
+		n, err := rtnet.Listen(rtnet.NodeConfig{
+			PID:         ids.ProcessID(i),
+			Listen:      "127.0.0.1:0",
+			NameServers: []ids.ProcessID{0},
+			Upcalls:     cols[i],
+			Metrics:     reg,
+			Seed:        seed*1009 + int64(i),
+			Pipeline:    rtnet.PipelineConfig{Inline: o.Inline},
+		})
+		if err != nil {
+			closeAll()
+			return res, fmt.Errorf("rt-throughput node %d: %w", i, err)
+		}
+		nodes[i] = n
+	}
+	defer closeAll()
+	peers := make(map[ids.ProcessID]string, o.Nodes)
+	for i, n := range nodes {
+		peers[ids.ProcessID(i)] = n.Addr().String()
+	}
+	for i, n := range nodes {
+		if err := n.SetPeers(peers); err != nil {
+			return res, err
+		}
+		if err := n.Start(); err != nil {
+			return res, fmt.Errorf("rt-throughput node %d start: %w", i, err)
+		}
+	}
+
+	const group ids.LWGID = "rt"
+	for _, n := range nodes {
+		n.Do(func(ep *core.Endpoint) { _ = ep.Join(group) })
+	}
+	var all []ids.ProcessID
+	for i := 0; i < o.Nodes; i++ {
+		all = append(all, ids.ProcessID(i))
+	}
+	want := ids.NewMembers(all...)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		n := 0
+		for _, c := range cols {
+			if c.converged(want) {
+				n++
+			}
+		}
+		if n == o.Nodes {
+			break
+		}
+		if time.Now().After(deadline) {
+			return res, nil // not converged
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Feeders: every node is an ack-clocked sender. A send costs
+	// (Nodes-1) credits and every remote delivery earns one, so the
+	// send rate equilibrates to what the data plane actually delivers;
+	// the initial grant puts Window messages in flight per sender. The
+	// send timestamp rides in the payload so receivers compute latency
+	// without a shared map.
+	cost := int64(o.Nodes - 1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		i, n := i, n
+		cols[i].credits.Store(int64(o.Window) * cost)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := cols[i]
+			payload := make([]byte, o.Payload)
+			for {
+				for c.credits.Load() >= cost {
+					c.credits.Add(-cost)
+					n.Do(func(ep *core.Endpoint) {
+						binary.BigEndian.PutUint64(payload, uint64(time.Now().UnixNano()))
+						_ = ep.Send(group, payload)
+					})
+				}
+				select {
+				case <-stop:
+					return
+				case <-c.kick:
+				}
+			}
+		}()
+	}
+
+	time.Sleep(500 * time.Millisecond) // warm up
+	measuring.Store(true)
+	time.Sleep(measure)
+	measuring.Store(false)
+	close(stop)
+	wg.Wait()
+
+	secs := measure.Seconds()
+	latMu.Lock()
+	p99 := lat.Percentile(99)
+	latMu.Unlock()
+	res.Converged = true
+	res.DeliveriesPerSec = float64(deliveries.Load()) / secs
+	res.MsgsPerSec = res.DeliveriesPerSec / float64(o.Nodes-1)
+	res.P99Ms = float64(p99) / float64(time.Millisecond)
+	res.RingOverflow = reg.Totals()["rtnet_send_ring_overflow_total"]
+	return res, nil
+}
+
+// RTThroughput prints the GOMAXPROCS sweep for both data planes.
+func RTThroughput(w io.Writer, procsList []int, measure time.Duration, seed int64) {
+	fmt.Fprintln(w, "== rt-throughput: real-UDP data plane, closed-loop senders ==")
+	fmt.Fprintf(w, "%-10s %-9s %12s %14s %10s %10s\n",
+		"plane", "procs", "msgs/s", "deliveries/s", "p99 ms", "overflow")
+	for _, inline := range []bool{true, false} {
+		name := "pipeline"
+		if inline {
+			name = "inline"
+		}
+		for _, p := range procsList {
+			r, err := RunRTThroughput(p, measure, seed, RTOptions{Inline: inline})
+			if err != nil || !r.Converged {
+				fmt.Fprintf(w, "%-10s %-9d (did not converge: %v)\n", name, p, err)
+				continue
+			}
+			fmt.Fprintf(w, "%-10s %-9d %12.0f %14.0f %10.2f %10d\n",
+				name, r.Procs, r.MsgsPerSec, r.DeliveriesPerSec, r.P99Ms, r.RingOverflow)
+		}
+	}
+}
+
+// RTAddrKeyRecords runs the transport receive-path microbenchmarks and
+// returns their records (the alloc-reduction trajectory of the
+// reassembly key path).
+func RTAddrKeyRecords(w io.Writer) []Record {
+	fmt.Fprintln(w, "  rtnet receive-path microbenchmarks...")
+	var recs []Record
+	for _, s := range rtnet.AddrKeyBenchStats() {
+		recs = append(recs,
+			Record{Experiment: "rt-recvpath", Mode: s.Name, Metric: "ns_per_op", Value: s.NsPerOp},
+			Record{Experiment: "rt-recvpath", Mode: s.Name, Metric: "allocs_per_op", Value: s.AllocsPerOp})
+	}
+	return recs
+}
+
+// RTThroughputRecords runs the sweep and returns the flat records for
+// BENCH_plwg.json: (experiment=rt-throughput, mode=inline|pipeline,
+// n=GOMAXPROCS).
+func RTThroughputRecords(w io.Writer, procsList []int, measure time.Duration, seed int64) []Record {
+	var recs []Record
+	for _, inline := range []bool{true, false} {
+		mode := "pipeline"
+		if inline {
+			mode = "inline"
+		}
+		for _, p := range procsList {
+			fmt.Fprintf(w, "  rt-throughput %s procs=%d...\n", mode, p)
+			r, err := RunRTThroughput(p, measure, seed, RTOptions{Inline: inline})
+			if err != nil || !r.Converged {
+				continue
+			}
+			recs = append(recs,
+				Record{"rt-throughput", mode, p, "msgs_per_sec", r.MsgsPerSec},
+				Record{"rt-throughput", mode, p, "deliveries_per_sec", r.DeliveriesPerSec},
+				Record{"rt-throughput", mode, p, "p99_ms", r.P99Ms})
+		}
+	}
+	return recs
+}

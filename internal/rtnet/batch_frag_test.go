@@ -61,7 +61,7 @@ func TestEnvelopeCodecSurvivesFragmentation(t *testing.T) {
 	r := newReassembler()
 	var whole []byte
 	for _, c := range chunks {
-		got, err := r.add("peer", c)
+		got, err := r.add(fragAddr(1), c)
 		if err != nil {
 			t.Fatal(err)
 		}

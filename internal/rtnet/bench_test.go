@@ -1,0 +1,31 @@
+package rtnet
+
+import (
+	"net"
+	"testing"
+)
+
+// BenchmarkReassemblerAddrKey models the per-datagram receive work the
+// read path performs before decoding: derive the reassembly key from
+// the remote address and run the datagram through the reassembler.
+// Before the pipeline PR the key was raddr.String() — one string
+// allocation per datagram — and the single-chunk case copied the
+// payload; the value-struct key (netip.AddrPort) plus the single-chunk
+// aliasing fast path take this to zero allocations.
+func BenchmarkReassemblerAddrKey(b *testing.B) {
+	payload := make([]byte, 1024)
+	chunks := fragment(1, payload)
+	if len(chunks) != 1 {
+		b.Fatal("expected a single chunk")
+	}
+	raddr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 54321}
+	ap := raddr.AddrPort()
+	re := newReassembler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := re.add(ap, chunks[0])
+		if err != nil || out == nil {
+			b.Fatal("reassembly failed")
+		}
+	}
+}

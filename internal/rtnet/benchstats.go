@@ -1,0 +1,70 @@
+package rtnet
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+)
+
+// BenchStat is one transport microbenchmark result, exported for
+// inclusion in BENCH_plwg.json (cmd/lwgbench -json).
+type BenchStat struct {
+	Name        string
+	NsPerOp     float64
+	AllocsPerOp float64
+}
+
+// AddrKeyBenchStats measures the per-datagram receive-path work in
+// front of envelope decoding for a representative 1 KiB single-chunk
+// datagram, in two variants:
+//
+//	reassemble-addrkey-string: the historical key derivation —
+//	  raddr.String() per datagram (one string allocation) feeding a
+//	  string-keyed map, plus a payload copy out of the reassembler.
+//	reassemble-addrkey: the current path — the comparable
+//	  netip.AddrPort is the key (no allocation) and the single-chunk
+//	  fast path returns an alias of the datagram payload (no copy).
+//
+// Recorded side by side in BENCH_plwg.json so the alloc reduction stays
+// visible in the committed baseline.
+func AddrKeyBenchStats() []BenchStat {
+	payload := make([]byte, 1024)
+	chunks := fragment(1, payload)
+	raddr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 54321}
+	ap := raddr.AddrPort()
+	mk := func(name string, fn func(b *testing.B)) BenchStat {
+		r := testing.Benchmark(fn)
+		return BenchStat{Name: name, NsPerOp: float64(r.NsPerOp()), AllocsPerOp: float64(r.AllocsPerOp())}
+	}
+	return []BenchStat{
+		mk("reassemble-addrkey-string", func(b *testing.B) {
+			re := newReassembler()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Model the old hot path: derive a fresh string key from
+				// the UDPAddr, then copy the payload out (the reassembler
+				// no longer does either, so both are modelled here).
+				key, err := netip.ParseAddrPort(raddr.String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				out, err2 := re.add(key, chunks[0])
+				if err2 != nil || out == nil {
+					b.Fatal("reassembly failed")
+				}
+				buf := make([]byte, len(out))
+				copy(buf, out)
+			}
+		}),
+		mk("reassemble-addrkey", func(b *testing.B) {
+			re := newReassembler()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, err := re.add(ap, chunks[0])
+				if err != nil || out == nil {
+					b.Fatal("reassembly failed")
+				}
+			}
+		}),
+	}
+}

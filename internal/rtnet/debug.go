@@ -14,18 +14,21 @@ import (
 //
 //	/metrics        metrics registry in a text exposition format
 //	/debug/lwg      JSON snapshot of group membership and mappings
+//	/debug/rtnet    JSON snapshot of the transport's data-plane pipeline
+//	                (worker/writer counts, ring and queue depths)
 //	/debug/trace    the trace ring as JSONL (requires a *trace.Ring or
 //	                other Snapshotter as the node's Tracer)
 //	/debug/pprof/   the standard Go profiling endpoints
 //
 // The handler is safe to serve while the protocol runs: /metrics reads
 // atomic instruments, /debug/trace snapshots the ring under its own
-// lock, and /debug/lwg hops onto the protocol loop for a consistent
-// view.
+// lock, /debug/rtnet samples queue lengths racily (observability only),
+// and /debug/lwg hops onto the protocol loop for a consistent view.
 func (n *Node) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", n.serveMetrics)
 	mux.HandleFunc("/debug/lwg", n.serveLWG)
+	mux.HandleFunc("/debug/rtnet", n.serveRTNet)
 	mux.HandleFunc("/debug/trace", n.serveTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -43,6 +46,13 @@ func (n *Node) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = reg.WriteText(w)
+}
+
+func (n *Node) serveRTNet(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(n.tr.PipelineStats())
 }
 
 func (n *Node) serveTrace(w http.ResponseWriter, _ *http.Request) {

@@ -8,7 +8,10 @@
 // Concurrency model: everything protocol-related (stacks, endpoints,
 // upcalls) runs on the driver's single loop goroutine — the same
 // single-threaded discipline the simulator enforces. External goroutines
-// (UDP readers, application code) enter the loop through Driver.Do.
+// (the transport's decode workers, application code) enter the loop
+// through Driver.Do/DoBatch/Call; the data plane around the loop
+// (socket reads, reassembly, envelope decoding, socket writes) runs on
+// its own goroutines (see the package comment in transport.go).
 package rtnet
 
 import (
@@ -18,6 +21,17 @@ import (
 	"plwg/internal/sim"
 )
 
+// task is one unit of injected loop work. Application calls carry a
+// closure in fn; decoded envelopes from the transport's decode workers
+// ride inline in env instead (tr non-nil), so the per-packet hot path
+// allocates no closure and the envelope value travels by copy into the
+// inbox slice.
+type task struct {
+	fn  func()
+	tr  *Transport
+	env envelope
+}
+
 // Driver executes a simulation engine in real time. Virtual time is
 // wall-clock time since Start.
 type Driver struct {
@@ -25,7 +39,11 @@ type Driver struct {
 	start time.Time
 
 	mu    sync.Mutex
-	inbox []func()
+	inbox []task
+	// spare is the drained batch's backing array, handed back by the
+	// loop so the inbox and the loop ping-pong between two slices
+	// instead of allocating one per drain.
+	spare []task
 
 	wake chan struct{}
 	stop chan struct{}
@@ -34,6 +52,11 @@ type Driver struct {
 	startOnce sync.Once
 	stopOnce  sync.Once
 }
+
+// spareCap bounds the recycled inbox backing array: a rare burst can
+// grow the batch arbitrarily, but we don't pin that much memory
+// forever.
+const spareCap = 4096
 
 // NewDriver creates a real-time driver around a fresh engine.
 func NewDriver(seed int64) *Driver {
@@ -54,8 +77,55 @@ func (d *Driver) Sim() *sim.Sim { return d.s }
 // instant of virtual time. Do never blocks on fn.
 func (d *Driver) Do(fn func()) {
 	d.mu.Lock()
-	d.inbox = append(d.inbox, fn)
+	d.inbox = append(d.inbox, task{fn: fn})
 	d.mu.Unlock()
+	d.wakeup()
+}
+
+// DoBatch schedules every fn to run on the loop goroutine, in order,
+// under a single inbox lock acquisition and a single wakeup — the
+// batched form of Do for producers that accumulate work off-loop.
+// Functions from one DoBatch run in slice order; batches from different
+// goroutines interleave at batch granularity, and the FIFO guarantee of
+// Do is preserved across both entry points.
+func (d *Driver) DoBatch(fns []func()) {
+	if len(fns) == 0 {
+		return
+	}
+	d.mu.Lock()
+	for _, fn := range fns {
+		d.inbox = append(d.inbox, task{fn: fn})
+	}
+	d.mu.Unlock()
+	d.wakeup()
+}
+
+// doEnv injects one decoded envelope for delivery on the loop — the
+// closure-free single-packet form used by the inline data plane.
+func (d *Driver) doEnv(t *Transport, env envelope) {
+	d.mu.Lock()
+	d.inbox = append(d.inbox, task{tr: t, env: env})
+	d.mu.Unlock()
+	d.wakeup()
+}
+
+// doEnvBatch injects a batch of decoded envelopes for delivery on the
+// loop: one lock acquisition and one wakeup for the whole burst. The
+// envelope values are copied into the inbox, so the caller may reuse
+// envs immediately.
+func (d *Driver) doEnvBatch(t *Transport, envs []envelope) {
+	if len(envs) == 0 {
+		return
+	}
+	d.mu.Lock()
+	for i := range envs {
+		d.inbox = append(d.inbox, task{tr: t, env: envs[i]})
+	}
+	d.mu.Unlock()
+	d.wakeup()
+}
+
+func (d *Driver) wakeup() {
 	select {
 	case d.wake <- struct{}{}:
 	default:
@@ -95,17 +165,36 @@ func (d *Driver) loop() {
 		now := sim.Time(time.Since(d.start))
 		d.s.RunUntil(now)
 
-		// Drain externally injected work (packets, application calls).
+		// Drain externally injected work (packets, application calls)
+		// with a double-buffer swap: the inbox and the just-run batch
+		// alternate as backing arrays, so steady state allocates
+		// nothing per drain.
 		d.mu.Lock()
 		batch := d.inbox
-		d.inbox = nil
+		d.inbox = d.spare[:0]
+		d.spare = nil
 		d.mu.Unlock()
-		for _, fn := range batch {
-			fn()
+		for i := range batch {
+			if batch[i].fn != nil {
+				batch[i].fn()
+			} else {
+				batch[i].tr.deliverEnv(&batch[i].env)
+			}
 		}
 		if len(batch) > 0 {
 			// The batch may have scheduled immediate events.
 			d.s.RunUntil(sim.Time(time.Since(d.start)))
+		}
+		// Hand the drained array back for the next swap, dropping the
+		// task references (envelopes hold message payloads) so the GC
+		// isn't pinned by stale batches.
+		clear(batch)
+		if cap(batch) <= spareCap {
+			d.mu.Lock()
+			if d.spare == nil {
+				d.spare = batch[:0]
+			}
+			d.mu.Unlock()
 		}
 
 		// Sleep until the next timer deadline, an injection, or stop.

@@ -3,6 +3,7 @@ package rtnet
 import (
 	"encoding/binary"
 	"fmt"
+	"net/netip"
 	"time"
 )
 
@@ -27,9 +28,12 @@ const (
 var fragMagic = [2]byte{0xB6, 0x1D}
 
 // fragKey identifies a reassembly: datagrams carry no decoded sender
-// identity, so the remote socket address stands in for it.
+// identity, so the remote socket address stands in for it. The address
+// is the comparable netip.AddrPort value — deriving the key from a
+// received datagram costs no allocation (raddr.String() used to be one
+// string allocation per datagram on the hot receive path).
 type fragKey struct {
-	from  string // remote UDP address
+	from  netip.AddrPort // remote UDP address
 	msgID uint64
 }
 
@@ -37,6 +41,16 @@ type fragBuf struct {
 	chunks  [][]byte
 	have    int
 	started time.Time
+}
+
+// writeFragHeader fills the fragment header at the front of dst (which
+// must be at least fragHeader bytes).
+func writeFragHeader(dst []byte, msgID uint64, idx, total uint16) {
+	dst[0] = fragMagic[0]
+	dst[1] = fragMagic[1]
+	binary.BigEndian.PutUint64(dst[2:10], msgID)
+	binary.BigEndian.PutUint16(dst[10:12], idx)
+	binary.BigEndian.PutUint16(dst[12:14], total)
 }
 
 // fragment splits an encoded envelope into datagram-sized chunks.
@@ -56,11 +70,7 @@ func fragment(msgID uint64, data []byte) [][]byte {
 			hi = len(data)
 		}
 		chunk := make([]byte, fragHeader+hi-lo)
-		chunk[0] = fragMagic[0]
-		chunk[1] = fragMagic[1]
-		binary.BigEndian.PutUint64(chunk[2:10], msgID)
-		binary.BigEndian.PutUint16(chunk[10:12], uint16(i))
-		binary.BigEndian.PutUint16(chunk[12:14], uint16(total))
+		writeFragHeader(chunk, msgID, uint16(i), uint16(total))
 		copy(chunk[fragHeader:], data[lo:hi])
 		out = append(out, chunk)
 	}
@@ -88,8 +98,13 @@ func newReassemblerClock(now func() time.Time) *reassembler {
 }
 
 // add consumes one datagram and returns the completed envelope bytes
-// when the last chunk arrives.
-func (r *reassembler) add(from string, datagram []byte) ([]byte, error) {
+// when the last chunk arrives. Ownership of the datagram's memory
+// transfers to the reassembler: single-chunk messages return an alias
+// of the payload (no copy — the dominant case on the hot receive path)
+// and multi-chunk payloads are held by alias until assembly, so the
+// caller must pass a slice it will never reuse (not a shared read
+// buffer).
+func (r *reassembler) add(from netip.AddrPort, datagram []byte) ([]byte, error) {
 	if len(datagram) < fragHeader || datagram[0] != fragMagic[0] || datagram[1] != fragMagic[1] {
 		return nil, fmt.Errorf("not a fragment datagram")
 	}
@@ -101,9 +116,7 @@ func (r *reassembler) add(from string, datagram []byte) ([]byte, error) {
 	}
 	payload := datagram[fragHeader:]
 	if total == 1 {
-		out := make([]byte, len(payload))
-		copy(out, payload)
-		return out, nil
+		return payload, nil
 	}
 	k := fragKey{from: from, msgID: msgID}
 	b := r.bufs[k]
@@ -117,7 +130,7 @@ func (r *reassembler) add(from string, datagram []byte) ([]byte, error) {
 		r.bufs[k] = b
 	}
 	if b.chunks[idx] == nil {
-		b.chunks[idx] = append([]byte(nil), payload...)
+		b.chunks[idx] = payload
 		b.have++
 	}
 	if b.have < total {

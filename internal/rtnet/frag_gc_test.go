@@ -2,6 +2,7 @@ package rtnet
 
 import (
 	"bytes"
+	"net/netip"
 	"testing"
 	"time"
 )
@@ -14,7 +15,7 @@ func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 
 // partial feeds the first chunk of a multi-chunk message, leaving a
 // dangling reassembly buffer.
-func partial(t *testing.T, r *reassembler, from string, msgID uint64) {
+func partial(t *testing.T, r *reassembler, from netip.AddrPort, msgID uint64) {
 	t.Helper()
 	data := make([]byte, fragPayload+100) // two chunks
 	chunks := fragment(msgID, data)
@@ -35,8 +36,8 @@ func TestFragGCReclaimsStalePartialsBelowThreshold(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
 	r := newReassemblerClock(clk.now)
 
-	partial(t, r, "10.0.0.1:1", 1)
-	partial(t, r, "10.0.0.2:1", 2)
+	partial(t, r, netip.MustParseAddrPort("10.0.0.1:1"), 1)
+	partial(t, r, netip.MustParseAddrPort("10.0.0.2:1"), 2)
 	if len(r.bufs) != 2 {
 		t.Fatalf("want 2 partial buffers, have %d", len(r.bufs))
 	}
@@ -44,11 +45,11 @@ func TestFragGCReclaimsStalePartialsBelowThreshold(t *testing.T) {
 	// Well past the reassembly timeout, a fresh partial arrives and
 	// triggers the periodic sweep. The two stale buffers must go.
 	clk.advance(fragTimeout + time.Second)
-	partial(t, r, "10.0.0.3:1", 3)
+	partial(t, r, netip.MustParseAddrPort("10.0.0.3:1"), 3)
 	if len(r.bufs) != 1 {
 		t.Fatalf("stale partials not reclaimed: %d buffers outstanding", len(r.bufs))
 	}
-	if _, ok := r.bufs[fragKey{from: "10.0.0.3:1", msgID: 3}]; !ok {
+	if _, ok := r.bufs[fragKey{from: netip.MustParseAddrPort("10.0.0.3:1"), msgID: 3}]; !ok {
 		t.Fatal("the fresh partial was swept instead of the stale ones")
 	}
 }
@@ -59,16 +60,16 @@ func TestFragGCKeepsFreshPartials(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
 	r := newReassemblerClock(clk.now)
 
-	partial(t, r, "10.0.0.1:1", 1)
+	partial(t, r, netip.MustParseAddrPort("10.0.0.1:1"), 1)
 	clk.advance(fragTimeout / 2)
-	partial(t, r, "10.0.0.2:1", 2)
+	partial(t, r, netip.MustParseAddrPort("10.0.0.2:1"), 2)
 	clk.advance(fragTimeout/2 + time.Millisecond) // first is now stale, second not
-	partial(t, r, "10.0.0.3:1", 3)
+	partial(t, r, netip.MustParseAddrPort("10.0.0.3:1"), 3)
 
-	if _, ok := r.bufs[fragKey{from: "10.0.0.1:1", msgID: 1}]; ok {
+	if _, ok := r.bufs[fragKey{from: netip.MustParseAddrPort("10.0.0.1:1"), msgID: 1}]; ok {
 		t.Fatal("stale partial survived the sweep")
 	}
-	if _, ok := r.bufs[fragKey{from: "10.0.0.2:1", msgID: 2}]; !ok {
+	if _, ok := r.bufs[fragKey{from: netip.MustParseAddrPort("10.0.0.2:1"), msgID: 2}]; !ok {
 		t.Fatal("fresh partial was reaped")
 	}
 }
@@ -78,7 +79,7 @@ func TestFragGCKeepsFreshPartials(t *testing.T) {
 // message must still complete once a consistent set of chunks lands.
 func TestFragStormConflictingTotals(t *testing.T) {
 	r := newReassembler()
-	const from = "10.0.0.9:9"
+	from := netip.MustParseAddrPort("10.0.0.9:9")
 
 	big := make([]byte, 2*fragPayload+50) // three chunks
 	for i := range big {

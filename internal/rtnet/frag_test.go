@@ -3,12 +3,19 @@ package rtnet
 import (
 	"bytes"
 	"math/rand"
+	"net/netip"
 	"testing"
 	"time"
 
 	"plwg/internal/core"
 	"plwg/internal/ids"
 )
+
+// fragAddr builds a distinct reassembly key per fake sender: fragKey is
+// now the remote netip.AddrPort, not a string.
+func fragAddr(port uint16) netip.AddrPort {
+	return netip.AddrPortFrom(netip.AddrFrom4([4]byte{127, 0, 0, 1}), port)
+}
 
 func TestFragmentRoundTrip(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
@@ -26,7 +33,7 @@ func TestFragmentRoundTrip(t *testing.T) {
 		re := newReassembler()
 		var got []byte
 		for i, c := range chunks {
-			out, err := re.add("peer", c)
+			out, err := re.add(fragAddr(1), c)
 			if err != nil {
 				t.Fatalf("size %d chunk %d: %v", size, i, err)
 			}
@@ -51,10 +58,10 @@ func TestFragmentOutOfOrderAndDuplicates(t *testing.T) {
 	// Deliver in reverse with duplicates.
 	var got []byte
 	for i := len(chunks) - 1; i >= 0; i-- {
-		if out, _ := re.add("p", chunks[i]); out != nil {
+		if out, _ := re.add(fragAddr(1), chunks[i]); out != nil {
 			got = out
 		}
-		if out, _ := re.add("p", chunks[i]); out != nil {
+		if out, _ := re.add(fragAddr(1), chunks[i]); out != nil {
 			got = out
 		}
 	}
@@ -105,7 +112,7 @@ func TestFragmentReassemblyAdversity(t *testing.T) {
 			re := newReassembler()
 			var got []byte
 			for _, d := range tc.deliver {
-				if out, err := re.add("peer", d); err != nil {
+				if out, err := re.add(fragAddr(1), d); err != nil {
 					t.Fatalf("add: %v", err)
 				} else if out != nil {
 					got = out
@@ -132,10 +139,10 @@ func TestFragmentInterleavedSenders(t *testing.T) {
 	re := newReassembler()
 	var gotA, gotB []byte
 	for i := range ca {
-		if out, _ := re.add("senderA", ca[i]); out != nil {
+		if out, _ := re.add(fragAddr(100), ca[i]); out != nil {
 			gotA = out
 		}
-		if out, _ := re.add("senderB", cb[i]); out != nil {
+		if out, _ := re.add(fragAddr(200), cb[i]); out != nil {
 			gotB = out
 		}
 	}
@@ -146,7 +153,7 @@ func TestFragmentInterleavedSenders(t *testing.T) {
 
 func TestFragmentRejectsGarbage(t *testing.T) {
 	re := newReassembler()
-	if _, err := re.add("p", []byte{1, 2, 3}); err == nil {
+	if _, err := re.add(fragAddr(1), []byte{1, 2, 3}); err == nil {
 		t.Error("short datagram accepted")
 	}
 	bad := make([]byte, fragHeader+4)
@@ -155,7 +162,7 @@ func TestFragmentRejectsGarbage(t *testing.T) {
 	// idx >= total
 	bad[10], bad[11] = 0, 5
 	bad[12], bad[13] = 0, 2
-	if _, err := re.add("p", bad); err == nil {
+	if _, err := re.add(fragAddr(1), bad); err == nil {
 		t.Error("bad header accepted")
 	}
 }

@@ -38,7 +38,7 @@ func FuzzReassemble(f *testing.F) {
 		re := newReassembler()
 		var got []byte
 		for _, d := range deliver {
-			out, err := re.add("fuzz-peer", d)
+			out, err := re.add(fragAddr(1), d)
 			if err != nil {
 				t.Fatalf("add rejected a generated chunk: %v", err)
 			}
@@ -54,6 +54,6 @@ func FuzzReassemble(f *testing.F) {
 		}
 
 		// Arbitrary bytes must never panic the reassembler.
-		_, _ = re.add("fuzz-peer", data)
+		_, _ = re.add(fragAddr(1), data)
 	})
 }

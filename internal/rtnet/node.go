@@ -43,6 +43,10 @@ type NodeConfig struct {
 	// (transport, vsync, core, naming); nil disables it at zero
 	// hot-path cost.
 	Metrics *metrics.Registry
+	// Pipeline tunes the transport's parallel data plane (decode pool,
+	// send ring, writer goroutines). The zero value picks defaults; set
+	// Pipeline.Inline for the single-goroutine baseline path.
+	Pipeline PipelineConfig
 	// Seed seeds the node's local engine.
 	Seed int64
 }
@@ -86,6 +90,7 @@ func Listen(cfg NodeConfig) (*Node, error) {
 	// Fault decisions derive from the node seed (offset so they are not
 	// correlated with the protocol engine's own randomness).
 	n.tr.SeedFaults(cfg.Seed ^ 0x5bd1e995)
+	n.tr.pc = cfg.Pipeline
 	n.tr.Instrument(cfg.Metrics)
 	return n, nil
 }
@@ -107,12 +112,7 @@ func (n *Node) SetPeers(peers map[ids.ProcessID]string) error {
 		}
 		resolved[p] = ua
 	}
-	n.tr.peers = resolved
-	n.tr.order = nil
-	for p := range resolved {
-		n.tr.order = append(n.tr.order, p)
-	}
-	n.tr.order = []ids.ProcessID(ids.NewMembers(n.tr.order...))
+	n.tr.setPeers(resolved)
 	return nil
 }
 

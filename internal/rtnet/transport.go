@@ -1,3 +1,50 @@
+// The transport's data plane is pipelined across goroutines while the
+// protocol itself stays on the single-threaded driver loop:
+//
+//	       UDP socket
+//	           │ ReadFromUDPAddrPort (reader goroutine: syscall only)
+//	           ▼
+//	hash(source) % W  ──────────────► decode worker pool (W goroutines)
+//	                                  reassembly + decodeEnvelope,
+//	                                  batch into []envelope
+//	           ┌──────────────────────────┘ Driver.doEnvBatch
+//	           ▼
+//	    driver loop (single goroutine)
+//	    subscription filter, partition filter, handler upcalls,
+//	    protocol stacks, fault-injection decisions, encode + fragment
+//	           │ sendChunks → send rings (bounded, sharded by peer)
+//	           ▼
+//	    writer goroutines ── WriteToUDPAddrPort ──► UDP socket
+//
+// Invariants that make this safe:
+//
+//   - Datagrams partition across decode workers by source address, so
+//     all fragments of one message reassemble in one worker's private
+//     reassembler and per-source arrival order is preserved end to end
+//     (worker channel FIFO → batch order → inbox FIFO).
+//   - Every protocol decision that consumes randomness — the fault
+//     table's drop/duplicate/delay plan — runs on the loop, in the
+//     same order as the historical inline path, so a seed replays the
+//     identical fault schedule and lwgcheck -rtnet reproducers stay
+//     deterministic. Writers only move already-decided bytes.
+//   - Encoded single-datagram messages fan out to N peers as one
+//     reference-counted wire.Buffer (the fragment header is written in
+//     place); the last writer to finish releases it to the pool.
+//   - The send path shards by destination: each writer owns one ring
+//     and each peer maps to one ring, so a peer's datagrams leave in
+//     FIFO order. (A single shared ring with concurrent writers would
+//     reorder adjacent same-peer datagrams on every send; the
+//     protocols treat reordering as rare transport misbehaviour to
+//     repair, not a steady state to live under.)
+//   - The rings are bounded: when a writer falls behind, enqueue drops
+//     the datagram and counts rtnet_send_ring_overflow_total instead
+//     of blocking the protocol loop. UDP loss is already part of the
+//     model; the vsync NACK machinery repairs it.
+//
+// Shutdown ordering: Close closes t.closed and the socket; the reader
+// unblocks, exits, and closes the worker channels; workers drain their
+// channels and exit; writers exit on t.closed; Close then drains any
+// requests left in the ring to release their buffers.
 package rtnet
 
 import (
@@ -5,6 +52,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"net/netip"
+	"runtime"
 	"sync"
 
 	"plwg/internal/ids"
@@ -34,16 +83,108 @@ const (
 	envCodec byte = 1 // binary codec: From, Uni, Addr, then the message
 )
 
+// PipelineConfig tunes the transport's parallel data plane. The zero
+// value picks defaults (a small decode pool and two writer goroutines,
+// sized off the core count). Set Inline to run the whole data plane on
+// the reader and loop goroutines — the historical single-goroutine
+// path, kept as the A/B baseline for the rt-throughput experiment.
+type PipelineConfig struct {
+	// Inline disables the pipeline: envelopes decode on the reader
+	// goroutine and enter the loop one at a time, and WriteToUDP runs
+	// synchronously on the protocol loop.
+	Inline bool
+	// DecodeWorkers is the decode pool size (default min(4, NumCPU)).
+	// Datagrams partition across workers by source address, so all
+	// fragments of one message reassemble on one worker and per-source
+	// arrival order is preserved.
+	DecodeWorkers int
+	// SendWriters is the number of writer goroutines (default 2). Each
+	// writer drains its own send-ring shard and peers map to shards by
+	// address hash, preserving per-peer datagram order.
+	SendWriters int
+	// SendRingSize bounds the send rings' total capacity across shards
+	// (default 4096 datagrams). When a destination's shard is full the
+	// datagram is dropped and counted in
+	// rtnet_send_ring_overflow_total — explicit backpressure instead of
+	// silently blocking the protocol loop.
+	SendRingSize int
+}
+
+const (
+	defaultSendRing = 4096
+	defaultWriters  = 2
+	// envBatch caps how many decoded envelopes one worker submits per
+	// DoBatch: large enough to amortize the inbox lock and wakeup over
+	// a burst, small enough to keep delivery latency flat.
+	envBatch = 64
+	// rxQueueLen is the per-worker datagram queue. When a worker's
+	// queue is full the reader blocks — backpressure onto the socket
+	// buffer, which is the component sized to absorb bursts.
+	rxQueueLen = 512
+)
+
+func (pc PipelineConfig) resolved() PipelineConfig {
+	if pc.Inline {
+		return PipelineConfig{Inline: true}
+	}
+	if pc.DecodeWorkers <= 0 {
+		pc.DecodeWorkers = runtime.NumCPU()
+		if pc.DecodeWorkers > 4 {
+			pc.DecodeWorkers = 4
+		}
+		if pc.DecodeWorkers < 1 {
+			pc.DecodeWorkers = 1
+		}
+	}
+	if pc.SendWriters <= 0 {
+		pc.SendWriters = defaultWriters
+	}
+	if pc.SendRingSize <= 0 {
+		pc.SendRingSize = defaultSendRing
+	}
+	return pc
+}
+
+// rxDatagram is one received datagram handed from the reader to a
+// decode worker. data is heap-owned by the receiver chain (the reader
+// copies out of its read buffer), so reassembly may alias it.
+type rxDatagram struct {
+	from netip.AddrPort
+	data []byte
+}
+
+type decodeWorker struct {
+	ch chan rxDatagram
+}
+
+// sendChunk is one datagram of an encoded message, pre-fault-plan. When
+// buf is non-nil, data aliases the refcounted buffer and every enqueue
+// must Retain it; when nil, data is a GC-owned slice shared freely.
+type sendChunk struct {
+	data []byte
+	buf  *wire.Buffer
+}
+
+// sendReq is one datagram on the send ring. The request owns one
+// reference on buf (when non-nil); whoever finishes with the request —
+// writer, overflow drop, or shutdown drain — releases it.
+type sendReq struct {
+	data []byte
+	buf  *wire.Buffer
+	to   netip.AddrPort
+}
+
 // Transport is a netsim.Transport over UDP. Multicast is emulated by
 // unicast fan-out to every peer; receivers filter by their local
 // subscriptions, which matches the semantics of the simulated network
 // (and of IP multicast on a LAN segment).
 type Transport struct {
-	d     *Driver
-	pid   ids.ProcessID
-	conn  *net.UDPConn
-	peers map[ids.ProcessID]*net.UDPAddr
-	order []ids.ProcessID // deterministic fan-out order
+	d       *Driver
+	pid     ids.ProcessID
+	conn    *net.UDPConn
+	peers   map[ids.ProcessID]*net.UDPAddr
+	peersAP map[ids.ProcessID]netip.AddrPort
+	order   []ids.ProcessID // deterministic fan-out order
 
 	// Loop-confined state.
 	subs    map[netsim.Addr]bool
@@ -55,10 +196,26 @@ type Transport struct {
 	// nextMsgID numbers outgoing envelopes for fragmentation
 	// (loop-confined).
 	nextMsgID uint64
+	// chunkScratch is the loop-confined scratch slice encodeChunks
+	// reuses across messages, so steady-state sends allocate no chunk
+	// headers.
+	chunkScratch []sendChunk
 
 	// faults injects per-link loss/dup/reorder/delay/one-way-block on
 	// the send path. Mutable from any goroutine (see faults.go).
 	faults *faultTable
+
+	// pc configures the parallel data plane. Set before Start.
+	pc PipelineConfig
+
+	// workers is the decode pool; sendQs are the send rings, one per
+	// writer, sharded by destination so each peer's datagrams stay FIFO
+	// (concurrent writers draining one shared ring would reorder
+	// adjacent datagrams to the same peer on every send, which the
+	// protocols tolerate as rare transport misbehaviour, not as the
+	// steady state). Both are nil on the inline path.
+	workers []*decodeWorker
+	sendQs  []chan sendReq
 
 	// ins holds the wire-level instruments. Counters are atomic and
 	// nil-safe, so the reader goroutine and timer callbacks may bump
@@ -68,6 +225,8 @@ type Transport struct {
 	closeOnce sync.Once
 	closed    chan struct{}
 	readerWG  sync.WaitGroup
+	decodeWG  sync.WaitGroup
+	writerWG  sync.WaitGroup
 }
 
 var _ netsim.Transport = (*Transport)(nil)
@@ -76,22 +235,32 @@ var _ netsim.Transport = (*Transport)(nil)
 // metrics disabled every field is nil and the nil-receiver methods
 // no-op.
 type transportMetrics struct {
-	dgramsSent *metrics.Counter
-	bytesSent  *metrics.Counter
-	dgramsRecv *metrics.Counter
-	bytesRecv  *metrics.Counter
-	faultDrops *metrics.Counter
+	dgramsSent       *metrics.Counter
+	bytesSent        *metrics.Counter
+	dgramsRecv       *metrics.Counter
+	bytesRecv        *metrics.Counter
+	faultDrops       *metrics.Counter
+	dgramsMalformed  *metrics.Counter
+	sendErrors       *metrics.Counter
+	sendRingOverflow *metrics.Counter
+	sendRingDepth    *metrics.Gauge
+	decodeQueueDepth *metrics.Gauge
 }
 
 // Instrument resolves the transport's counters from the registry (nil
 // disables them). Call before Start.
 func (t *Transport) Instrument(r *metrics.Registry) {
 	t.ins = transportMetrics{
-		dgramsSent: r.Counter("rtnet_datagrams_sent_total"),
-		bytesSent:  r.Counter("rtnet_bytes_sent_total"),
-		dgramsRecv: r.Counter("rtnet_datagrams_recv_total"),
-		bytesRecv:  r.Counter("rtnet_bytes_recv_total"),
-		faultDrops: r.Counter("rtnet_fault_drops_total"),
+		dgramsSent:       r.Counter("rtnet_datagrams_sent_total"),
+		bytesSent:        r.Counter("rtnet_bytes_sent_total"),
+		dgramsRecv:       r.Counter("rtnet_datagrams_recv_total"),
+		bytesRecv:        r.Counter("rtnet_bytes_recv_total"),
+		faultDrops:       r.Counter("rtnet_fault_drops_total"),
+		dgramsMalformed:  r.Counter("rtnet_datagrams_malformed_total"),
+		sendErrors:       r.Counter("rtnet_send_errors_total"),
+		sendRingOverflow: r.Counter("rtnet_send_ring_overflow_total"),
+		sendRingDepth:    r.Gauge("rtnet_send_ring_depth"),
+		decodeQueueDepth: r.Gauge("rtnet_decode_queue_depth"),
 	}
 }
 
@@ -108,38 +277,92 @@ func NewTransport(d *Driver, pid ids.ProcessID, conn *net.UDPConn, peers map[ids
 		d:       d,
 		pid:     pid,
 		conn:    conn,
-		peers:   make(map[ids.ProcessID]*net.UDPAddr, len(peers)),
 		subs:    make(map[netsim.Addr]bool),
 		blocked: make(map[ids.ProcessID]bool),
 		faults:  newFaultTable(1),
 		closed:  make(chan struct{}),
 	}
+	filtered := make(map[ids.ProcessID]*net.UDPAddr, len(peers))
 	for p, a := range peers {
 		if p == pid {
 			continue
 		}
-		t.peers[p] = a
+		filtered[p] = a
+	}
+	t.setPeers(filtered)
+	return t
+}
+
+// setPeers installs the address book (and its netip mirror, used by the
+// send path to avoid per-datagram conversions). Call before Start.
+func (t *Transport) setPeers(peers map[ids.ProcessID]*net.UDPAddr) {
+	t.peers = peers
+	t.peersAP = make(map[ids.ProcessID]netip.AddrPort, len(peers))
+	t.order = t.order[:0]
+	for p, a := range peers {
+		// Unmap 4-in-6 addresses (UDPAddr.AddrPort yields ::ffff:a.b.c.d
+		// for IPv4): an AF_INET socket rejects the mapped form.
+		ap := a.AddrPort()
+		t.peersAP[p] = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
 		t.order = append(t.order, p)
 	}
 	t.order = []ids.ProcessID(ids.NewMembers(t.order...))
-	return t
 }
 
 // SetHandler installs the node's message dispatcher (typically a
 // netsim.Mux handler). Must be called before Start.
 func (t *Transport) SetHandler(h netsim.Handler) { t.handler = h }
 
-// Start launches the UDP reader.
+// Start launches the data plane: the UDP reader, and — unless the
+// pipeline is disabled — the decode pool and the send-ring writers.
 func (t *Transport) Start() {
+	t.pc = t.pc.resolved()
+	if !t.pc.Inline {
+		ringSize := (t.pc.SendRingSize + t.pc.SendWriters - 1) / t.pc.SendWriters
+		t.sendQs = make([]chan sendReq, t.pc.SendWriters)
+		for i := range t.sendQs {
+			t.sendQs[i] = make(chan sendReq, ringSize)
+		}
+		for _, q := range t.sendQs {
+			t.writerWG.Add(1)
+			go t.writeLoop(q)
+		}
+		t.workers = make([]*decodeWorker, t.pc.DecodeWorkers)
+		for i := range t.workers {
+			t.workers[i] = &decodeWorker{ch: make(chan rxDatagram, rxQueueLen)}
+		}
+		for _, w := range t.workers {
+			t.decodeWG.Add(1)
+			go t.decodeLoop(w)
+		}
+	}
 	t.readerWG.Add(1)
 	go t.readLoop()
 }
 
-// Close shuts the reader down and closes the socket.
+// Close shuts the data plane down: reader first (it closes the worker
+// channels on exit), then the decode workers drain, then the writers
+// stop, then any requests still queued on the ring are drained so their
+// buffers return to the pool.
 func (t *Transport) Close() {
 	t.closeOnce.Do(func() { close(t.closed) })
 	_ = t.conn.Close()
 	t.readerWG.Wait()
+	t.decodeWG.Wait()
+	t.writerWG.Wait()
+	for _, q := range t.sendQs {
+	drain:
+		for {
+			select {
+			case req := <-q:
+				if req.buf != nil {
+					req.buf.Release()
+				}
+			default:
+				break drain
+			}
+		}
+	}
 }
 
 // LocalAddr returns the bound UDP address.
@@ -198,13 +421,66 @@ func (t *Transport) SetDefaultFault(r *FaultRule) { t.faults.setDefault(r) }
 // from any goroutine.
 func (t *Transport) SetLinkFault(to ids.ProcessID, r *FaultRule) { t.faults.setLink(to, r) }
 
+// dispatch hands one datagram to the wire. Pipeline: non-blocking
+// enqueue on the destination's send-ring shard, dropping (with the
+// overflow counter) when that writer has fallen a full ring behind.
+// Inline: synchronous write on the caller's goroutine. Takes ownership
+// of the request's buffer reference in both cases.
+func (t *Transport) dispatch(req sendReq) {
+	if t.sendQs == nil {
+		t.writeOut(req)
+		return
+	}
+	q := t.sendQs[apHash(req.to)%uint32(len(t.sendQs))]
+	select {
+	case q <- req:
+		t.ins.sendRingDepth.Set(int64(len(q)))
+	default:
+		t.ins.sendRingOverflow.Inc()
+		if req.buf != nil {
+			req.buf.Release()
+		}
+	}
+}
+
+// writeOut performs the socket write and releases the request's buffer
+// reference. Write failures count in rtnet_send_errors_total unless the
+// transport is shutting down (closing the socket makes in-flight writes
+// fail by design).
+func (t *Transport) writeOut(req sendReq) {
+	if _, err := t.conn.WriteToUDPAddrPort(req.data, req.to); err != nil {
+		select {
+		case <-t.closed:
+		default:
+			t.ins.sendErrors.Inc()
+		}
+	} else {
+		t.countSend(len(req.data))
+	}
+	if req.buf != nil {
+		req.buf.Release()
+	}
+}
+
+func (t *Transport) writeLoop(q chan sendReq) {
+	defer t.writerWG.Done()
+	for {
+		select {
+		case <-t.closed:
+			return
+		case req := <-q:
+			t.writeOut(req)
+		}
+	}
+}
+
 // sendChunks pushes the datagrams of one message to one peer through
 // the fault table: drop, duplicate, or delay each chunk as the link's
-// rule dictates. Must be called on the driver loop (delayed copies are
-// scheduled on the driver's clock; the writes themselves may then fire
-// from timer callbacks, which is fine — *net.UDPConn writes are
-// thread-safe).
-func (t *Transport) sendChunks(to ids.ProcessID, addr *net.UDPAddr, chunks [][]byte) {
+// rule dictates. Must be called on the driver loop — the fault plan
+// consumes the deterministic RNG, and keeping that on-loop is what
+// makes a seed replay the identical fault schedule regardless of how
+// many writer goroutines move the bytes afterwards.
+func (t *Transport) sendChunks(to ids.ProcessID, addr netip.AddrPort, chunks []sendChunk) {
 	for _, c := range chunks {
 		send, delays := t.faults.plan(to)
 		if !send {
@@ -212,27 +488,62 @@ func (t *Transport) sendChunks(to ids.ProcessID, addr *net.UDPAddr, chunks [][]b
 			continue
 		}
 		if delays == nil {
-			_, _ = t.conn.WriteToUDP(c, addr)
-			t.countSend(len(c))
+			if c.buf != nil {
+				c.buf.Retain()
+			}
+			t.dispatch(sendReq{data: c.data, buf: c.buf, to: addr})
 			continue
 		}
 		for _, d := range delays {
 			if d <= 0 {
-				_, _ = t.conn.WriteToUDP(c, addr)
-				t.countSend(len(c))
+				if c.buf != nil {
+					c.buf.Retain()
+				}
+				t.dispatch(sendReq{data: c.data, buf: c.buf, to: addr})
 				continue
 			}
 			c := c
+			if c.buf != nil {
+				c.buf.Retain()
+			}
 			t.d.Sim().After(d, func() {
 				select {
 				case <-t.closed:
+					if c.buf != nil {
+						c.buf.Release()
+					}
 				default:
-					_, _ = t.conn.WriteToUDP(c, addr)
-					t.countSend(len(c))
+					t.dispatch(sendReq{data: c.data, buf: c.buf, to: addr})
 				}
 			})
 		}
 	}
+}
+
+// encodeChunks encodes env and splits it into datagram chunks, bumping
+// the message counter. The common single-datagram case writes the
+// fragment header in place in the pooled encode buffer, so the fan-out
+// to N peers shares one refcounted buffer with zero copies; larger
+// messages fall back to per-chunk GC-owned slices. The scratch slice is
+// loop-confined and reused across messages; callers must hand it back
+// via t.chunkScratch = chunks[:0] after dispatching, and must Release
+// buf (when non-nil) to drop the encoder's own reference.
+func (t *Transport) encodeChunks(env *envelope) (chunks []sendChunk, buf *wire.Buffer) {
+	b, err := encodeEnvelopeFramed(env)
+	if err != nil {
+		return nil, nil // unregistered type; nothing sane to do at this layer
+	}
+	t.nextMsgID++
+	if len(b.B) <= fragHeader+fragPayload {
+		writeFragHeader(b.B, t.nextMsgID, 0, 1)
+		return append(t.chunkScratch[:0], sendChunk{data: b.B, buf: b}), b
+	}
+	chunks = t.chunkScratch[:0]
+	for _, c := range fragment(t.nextMsgID, b.B[fragHeader:]) {
+		chunks = append(chunks, sendChunk{data: c})
+	}
+	b.Release()
+	return chunks, nil
 }
 
 // Multicast implements netsim.Transport: fan out to every peer and loop
@@ -241,19 +552,20 @@ func (t *Transport) Multicast(from netsim.NodeID, addr netsim.Addr, msg netsim.M
 	if from != t.pid {
 		return
 	}
-	buf, err := encodeEnvelope(&envelope{From: from, Addr: string(addr), Msg: msg})
-	if err != nil {
+	chunks, buf := t.encodeChunks(&envelope{From: from, Addr: string(addr), Msg: msg})
+	if chunks == nil {
 		return // unregistered type; nothing sane to do at this layer
 	}
-	t.nextMsgID++
-	chunks := fragment(t.nextMsgID, buf.B)
-	buf.Release()
 	for _, p := range t.order {
 		if t.blocked[p] {
 			continue
 		}
-		t.sendChunks(p, t.peers[p], chunks)
+		t.sendChunks(p, t.peersAP[p], chunks)
 	}
+	if buf != nil {
+		buf.Release()
+	}
+	t.chunkScratch = chunks[:0]
 	if t.subs[addr] {
 		// Local delivery stays asynchronous, like a looped-back packet.
 		t.d.Sim().After(0, func() {
@@ -277,26 +589,75 @@ func (t *Transport) Unicast(from, to netsim.NodeID, addr netsim.Addr, msg netsim
 		})
 		return
 	}
-	peer, ok := t.peers[to]
+	peer, ok := t.peersAP[to]
 	if !ok || t.blocked[to] {
 		return
 	}
-	buf, err := encodeEnvelope(&envelope{From: from, Addr: string(addr), Uni: true, Msg: msg})
-	if err != nil {
+	chunks, buf := t.encodeChunks(&envelope{From: from, Addr: string(addr), Uni: true, Msg: msg})
+	if chunks == nil {
 		return
 	}
-	t.nextMsgID++
-	chunks := fragment(t.nextMsgID, buf.B)
-	buf.Release()
 	t.sendChunks(to, peer, chunks)
+	if buf != nil {
+		buf.Release()
+	}
+	t.chunkScratch = chunks[:0]
+}
+
+// deliverEnv runs the receive-side protocol checks for one decoded
+// envelope. Loop-confined: it reads blocked/subs and invokes the
+// handler, so it must only run on the driver goroutine (the inbox).
+func (t *Transport) deliverEnv(env *envelope) {
+	if t.blocked[env.From] {
+		return // partitioned away
+	}
+	addr := netsim.Addr(env.Addr)
+	if !env.Uni && !t.subs[addr] {
+		return // not subscribed: filtered like IP multicast
+	}
+	if t.handler != nil {
+		t.handler(env.From, addr, env.Msg)
+	}
+}
+
+// apHash partitions datagram sources across decode workers (FNV-1a over
+// the address and port).
+func apHash(ap netip.AddrPort) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	a := ap.Addr().As16()
+	for _, c := range a {
+		h = (h ^ uint32(c)) * prime32
+	}
+	p := ap.Port()
+	h = (h ^ uint32(p&0xff)) * prime32
+	h = (h ^ uint32(p>>8)) * prime32
+	return h
 }
 
 func (t *Transport) readLoop() {
 	defer t.readerWG.Done()
+	if len(t.workers) > 0 {
+		// Closing the worker channels (after the final sends below)
+		// lets the workers drain and exit; they never close their own
+		// channel, so the blocking handoff can't deadlock.
+		defer func() {
+			for _, w := range t.workers {
+				close(w.ch)
+			}
+		}()
+	}
+	var reasm *reassembler
+	if len(t.workers) == 0 {
+		reasm = newReassembler()
+	}
 	buf := make([]byte, 256*1024)
-	reasm := newReassembler()
+	nw := uint32(len(t.workers))
 	for {
-		n, raddr, err := t.conn.ReadFromUDP(buf)
+		n, from, err := t.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			select {
 			case <-t.closed:
@@ -308,55 +669,173 @@ func (t *Transport) readLoop() {
 		}
 		t.ins.dgramsRecv.Inc()
 		t.ins.bytesRecv.Add(int64(n))
-		data, err := reasm.add(raddr.String(), buf[:n])
-		if err != nil || data == nil {
-			continue // malformed, or more chunks to come
+		// Copy out of the reusable read buffer; everything downstream
+		// (reassembly, decoded messages via aliasing readers) owns this
+		// slice.
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		if nw == 0 {
+			t.rxInline(reasm, from, data)
+			continue
 		}
-		env, err := decodeEnvelope(data)
-		if err != nil {
-			continue // malformed datagram
-		}
-		t.d.Do(func() {
-			if t.blocked[env.From] {
-				return // partitioned away
-			}
-			addr := netsim.Addr(env.Addr)
-			if !env.Uni && !t.subs[addr] {
-				return // not subscribed: filtered like IP multicast
-			}
-			if t.handler != nil {
-				t.handler(env.From, addr, env.Msg)
-			}
-		})
+		w := t.workers[apHash(from)%nw]
+		w.ch <- rxDatagram{from: from, data: data}
+		t.ins.decodeQueueDepth.Set(int64(len(w.ch)))
 	}
 }
 
+// rxInline is the historical single-goroutine receive path: reassemble
+// and decode on the reader, enter the loop one packet at a time.
+func (t *Transport) rxInline(reasm *reassembler, from netip.AddrPort, data []byte) {
+	data, err := reasm.add(from, data)
+	if err != nil {
+		t.ins.dgramsMalformed.Inc()
+		return
+	}
+	if data == nil {
+		return // more chunks to come
+	}
+	env, err := decodeEnvelope(data)
+	if err != nil {
+		t.ins.dgramsMalformed.Inc()
+		return
+	}
+	t.d.doEnv(t, env)
+}
+
+// decodeLoop is one decode worker: reassemble and decode the datagrams
+// of its source partition, accumulate bursts, and submit each burst to
+// the driver as a single batch (one inbox lock, one wakeup).
+func (t *Transport) decodeLoop(w *decodeWorker) {
+	defer t.decodeWG.Done()
+	reasm := newReassembler()
+	envs := make([]envelope, 0, envBatch)
+	for {
+		d, ok := <-w.ch
+		if !ok {
+			return
+		}
+		envs = t.decodeInto(envs[:0], reasm, d)
+		chClosed := false
+	drain:
+		// Opportunistically drain whatever else is already queued so
+		// one submission covers the whole burst.
+		for len(envs) < envBatch {
+			select {
+			case d, ok := <-w.ch:
+				if !ok {
+					chClosed = true
+					break drain
+				}
+				envs = t.decodeInto(envs, reasm, d)
+			default:
+				break drain
+			}
+		}
+		t.d.doEnvBatch(t, envs)
+		if chClosed {
+			return
+		}
+	}
+}
+
+// decodeInto reassembles and decodes one datagram, appending the
+// resulting envelope (if the datagram completed a message) to envs.
+func (t *Transport) decodeInto(envs []envelope, reasm *reassembler, d rxDatagram) []envelope {
+	data, err := reasm.add(d.from, d.data)
+	if err != nil {
+		t.ins.dgramsMalformed.Inc()
+		return envs
+	}
+	if data == nil {
+		return envs // more chunks to come
+	}
+	env, err := decodeEnvelope(data)
+	if err != nil {
+		t.ins.dgramsMalformed.Inc()
+		return envs
+	}
+	return append(envs, env)
+}
+
+// PipelineStats is a point-in-time snapshot of the parallel data plane,
+// served by the /debug/rtnet endpoint. Queue lengths are sampled
+// racily, which is fine for observability.
+type PipelineStats struct {
+	Inline          bool  `json:"inline"`
+	DecodeWorkers   int   `json:"decode_workers"`
+	SendWriters     int   `json:"send_writers"`
+	SendRingCap     int   `json:"send_ring_cap"`
+	SendRingLen     int   `json:"send_ring_len"`
+	DecodeQueueLens []int `json:"decode_queue_lens"`
+}
+
+// PipelineStats snapshots the data-plane configuration and queue
+// depths. Call after Start.
+func (t *Transport) PipelineStats() PipelineStats {
+	st := PipelineStats{
+		Inline:        t.pc.Inline,
+		DecodeWorkers: len(t.workers),
+		SendWriters:   len(t.sendQs),
+	}
+	for _, q := range t.sendQs {
+		st.SendRingCap += cap(q)
+		st.SendRingLen += len(q)
+	}
+	for _, w := range t.workers {
+		st.DecodeQueueLens = append(st.DecodeQueueLens, len(w.ch))
+	}
+	return st
+}
+
 // encodeEnvelope serializes the envelope into a pooled buffer. The
-// caller must Release the buffer once the bytes are copied out
-// (fragment copies them into per-chunk datagrams). The gob fallback
-// shares the pooled storage but still pays a fresh encoder per
+// caller must Release the buffer once the bytes are copied out. The gob
+// fallback shares the pooled storage but still pays a fresh encoder per
 // datagram: each datagram is decoded as an independent stream, and gob
 // streams cannot be split (the type descriptors live at the front).
 func encodeEnvelope(env *envelope) (*wire.Buffer, error) {
 	b := wire.GetBuffer()
+	if err := encodeEnvelopeInto(b, env); err != nil {
+		b.Release()
+		return nil, err
+	}
+	return b, nil
+}
+
+// encodeEnvelopeFramed is encodeEnvelope with fragHeader bytes of
+// zero-padding reserved at the front, so a message that fits one
+// datagram can have its fragment header written in place and the pooled
+// buffer handed to the writers directly — no per-chunk copy.
+func encodeEnvelopeFramed(env *envelope) (*wire.Buffer, error) {
+	b := wire.GetBuffer()
+	var pad [fragHeader]byte
+	b.B = append(b.B, pad[:]...)
+	if err := encodeEnvelopeInto(b, env); err != nil {
+		b.Release()
+		return nil, err
+	}
+	return b, nil
+}
+
+func encodeEnvelopeInto(b *wire.Buffer, env *envelope) error {
+	prefix := len(b.B)
 	if m, ok := env.Msg.(wire.Marshaler); ok {
 		b.Byte(envCodec)
 		b.Int64(int64(env.From))
 		b.Bool(env.Uni)
 		b.String(env.Addr)
 		if wire.Encode(b, m) {
-			return b, nil
+			return nil
 		}
 		// Nested content without codec support (e.g. a data message
 		// carrying an unregistered payload): gob the whole envelope.
-		b.Reset()
+		b.B = b.B[:prefix]
 	}
 	b.Byte(envGob)
 	if err := gob.NewEncoder(b).Encode(env); err != nil {
-		b.Release()
-		return nil, fmt.Errorf("encode envelope: %w", err)
+		return fmt.Errorf("encode envelope: %w", err)
 	}
-	return b, nil
+	return nil
 }
 
 func decodeEnvelope(data []byte) (envelope, error) {

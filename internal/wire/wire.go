@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Marshaler is implemented by messages the codec can encode.
@@ -76,22 +77,41 @@ func Decode(r *Reader) (Marshaler, error) {
 // Buffer is an append-only encode buffer. Get it from the pool with
 // GetBuffer and return it with Release. It implements io.Writer so a
 // gob encoder can share the same pooled storage on the fallback path.
+//
+// Buffers are reference-counted so one encoded message can be handed to
+// several consumers (e.g. a UDP fan-out to N peers across goroutines)
+// without copying: each consumer holds a reference via Retain and drops
+// it with Release; the storage returns to the pool when the last
+// reference is released. Single-owner code can ignore Retain entirely —
+// GetBuffer returns a buffer with one reference and a matching Release
+// pools it, exactly as before.
 type Buffer struct {
-	B []byte
+	B    []byte
+	refs atomic.Int32
 }
 
 var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 4096)} }}
 
-// GetBuffer returns an empty pooled buffer.
+// GetBuffer returns an empty pooled buffer holding one reference.
 func GetBuffer() *Buffer {
 	b := bufPool.Get().(*Buffer)
 	b.B = b.B[:0]
+	b.refs.Store(1)
 	return b
 }
 
-// Release returns the buffer to the pool. The caller must not touch the
-// buffer (or slices of B) afterwards.
-func (b *Buffer) Release() { bufPool.Put(b) }
+// Retain adds a reference. Safe from any goroutine.
+func (b *Buffer) Retain() { b.refs.Add(1) }
+
+// Release drops one reference and returns the buffer to the pool when
+// the count reaches zero. The releaser of the last reference must not
+// touch the buffer (or slices of B) afterwards. Safe from any
+// goroutine.
+func (b *Buffer) Release() {
+	if b.refs.Add(-1) == 0 {
+		bufPool.Put(b)
+	}
+}
 
 // Reset empties the buffer without releasing its storage.
 func (b *Buffer) Reset() { b.B = b.B[:0] }
