@@ -17,6 +17,14 @@
 //	lwgcheck -rtnet -faults 'loss=0.1,delay=1ms..5ms' -par 8
 //	lwgcheck -rtnet -replay failing.schedule
 //
+// With -enumerate the random sweep is replaced by bounded model checking:
+// every reachable operation interleaving of a small scope is executed,
+// state-digest pruning closes the search, and every reached state must
+// pass the safety checks and reconverge after a heal (the liveness bound):
+//
+//	lwgcheck -enumerate -scope n3g2 -depth 12
+//	lwgcheck -enumerate -scope n4g2c1 -budget 2000 -checkpoint sweep.ckpt
+//
 // On failure the reproducer is printed in the replayable schedule format
 // and the exit status is 1.
 package main
@@ -63,8 +71,24 @@ func run(args []string, out io.Writer) error {
 	rtScale := fs.Float64("rtscale", 0.1, "virtual-to-real time scale for -rtnet op delays")
 	par := fs.Int("par", max(1, runtime.NumCPU()/2), "concurrent schedules for the -rtnet sweep")
 	traceOut := fs.String("trace", "", "export one run's trace events to this file (.json = Chrome trace, otherwise JSONL) and explain the stitched protocol operations; a sweep exports its first failing run, or the last seed when all pass")
+	enum := fs.Bool("enumerate", false, "bounded model checking: enumerate every schedule of a small scope instead of sweeping random seeds")
+	scope := fs.String("scope", "n3g2", "enumeration scope, n<nodes>g<groups>[c<crashes>]")
+	depth := fs.Int("depth", 12, "enumeration op-prefix depth bound")
+	budget := fs.Int("budget", 0, "enumeration run budget per invocation (0 = run until the scope is swept)")
+	checkpoint := fs.String("checkpoint", "", "enumeration checkpoint file: resumed when present, written when the budget stops the sweep early")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *enum {
+		return runEnumerate(out, enumOpts{
+			scope:      *scope,
+			depth:      *depth,
+			budget:     *budget,
+			checkpoint: *checkpoint,
+			traceOut:   *traceOut,
+			noShrink:   *noShrink,
+			verbose:    *verbose,
+		})
 	}
 	// Real-network runs are wall-clock bound, so the sweep defaults shrink
 	// to keep a 100-seed pass in the minutes range. Explicit flags win.

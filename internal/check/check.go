@@ -33,16 +33,17 @@ import (
 
 // Invariant identifiers carried by violations.
 const (
-	InvAgreement    = "vs-agreement"       // same-view delivery sets differ
-	InvDuplicate    = "vs-duplicate"       // delivered more often than sent
-	InvLost         = "vs-self-delivery"   // sender missed its own message
-	InvForeignSrc   = "vs-foreign-source"  // delivery from a non-member
-	InvOrder        = "genealogy-order"    // ancestry is not a strict partial order
-	InvRegression   = "view-regression"    // installed an ancestor of a prior view
-	InvViewIdentity = "view-identity"      // one view identifier, two member sets
-	InvConvergence  = "heal-convergence"   // survivors disagree after heal
-	InvMapping      = "mapping-agreement"  // members disagree on the HWG mapping
-	InvNaming       = "naming-convergence" // naming databases kept conflicts
+	InvAgreement    = "vs-agreement"        // same-view delivery sets differ
+	InvDuplicate    = "vs-duplicate"        // delivered more often than sent
+	InvLost         = "vs-self-delivery"    // sender missed its own message
+	InvForeignSrc   = "vs-foreign-source"   // delivery from a non-member
+	InvOrder        = "genealogy-order"     // ancestry is not a strict partial order
+	InvRegression   = "view-regression"     // installed an ancestor of a prior view
+	InvViewIdentity = "view-identity"       // one view identifier, two member sets
+	InvConvergence  = "heal-convergence"    // survivors disagree after heal
+	InvMapping      = "mapping-agreement"   // members disagree on the HWG mapping
+	InvNaming       = "naming-convergence"  // naming databases kept conflicts
+	InvOverflow     = "preinstall-overflow" // pre-install buffer shed a data message
 )
 
 // Violation is one detected breach of a safety property.
@@ -103,9 +104,28 @@ func Run(w *World) []Violation {
 	var out []Violation
 	out = append(out, DeliverySafety(w)...)
 	out = append(out, GenealogyOrder(w.Events)...)
+	out = append(out, Overflow(w.Events)...)
 	out = append(out, Convergence(w)...)
 	out = append(out, NamingConvergence(w)...)
 	Sort(out)
+	return out
+}
+
+// Overflow reports every pre-install buffer drop recorded in the trace.
+// The bounded buffer in internal/core sheds the oldest view-tagged data
+// message when it overflows; that is a deliberate delivery gap, and runs
+// that provoke it must fail loudly — an exhaustive schedule enumeration
+// that silently lost a message would otherwise claim the interleaving
+// safe.
+func Overflow(events []trace.Event) []Violation {
+	var out []Violation
+	for _, e := range events {
+		if e.Layer != "lwg" || e.What != trace.LWGPreInstallDrop {
+			continue
+		}
+		out = append(out, Violation{InvOverflow, e.Group, e.Node,
+			fmt.Sprintf("shed %q from %v tagged %v", e.Data, e.Src, e.View)})
+	}
 	return out
 }
 

@@ -112,6 +112,11 @@ type Config struct {
 	// DisableBatching reverts to one HWG multicast per LWG send (the
 	// A/B switch for the packing optimization).
 	DisableBatching bool
+	// MaxPreInstall bounds the per-member buffer of data received under
+	// views not yet installed (see lwgMember.bufferPreInstall). Overflow
+	// sheds the oldest message, counted by core_preinstall_drops_total
+	// and traced as LWGPreInstallDrop so checkers surface the gap.
+	MaxPreInstall int
 }
 
 // DefaultConfig returns timers sized for the simulated testbed. The
@@ -131,6 +136,8 @@ func DefaultConfig() Config {
 
 		MaxBatchBytes: 8 * 1024,
 		MaxBatchDelay: 500 * time.Microsecond,
+
+		MaxPreInstall: 1024,
 	}
 }
 
@@ -166,6 +173,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchDelay <= 0 {
 		c.MaxBatchDelay = d.MaxBatchDelay
 	}
+	if c.MaxPreInstall <= 0 {
+		c.MaxPreInstall = d.MaxPreInstall
+	}
 	return c
 }
 
@@ -189,40 +199,42 @@ type Params struct {
 // (nil handles, from a nil registry) is fully disabled: every method on
 // a nil instrument is an inlinable no-op.
 type epMetrics struct {
-	joins         *metrics.Counter
-	leaves        *metrics.Counter
-	sends         *metrics.Counter
-	deliveries    *metrics.Counter
-	viewInstalls  *metrics.Counter
-	lwgFlushes    *metrics.Counter
-	switches      *metrics.Counter
-	rebinds       *metrics.Counter
-	mergeTriggers *metrics.Counter
-	merges        *metrics.Counter
-	batchFlushes  *metrics.Counter
-	batchedMsgs   *metrics.Counter
-	batchedBytes  *metrics.Counter
-	lwgCount      *metrics.Gauge
-	hwgCount      *metrics.Gauge
+	joins           *metrics.Counter
+	leaves          *metrics.Counter
+	sends           *metrics.Counter
+	deliveries      *metrics.Counter
+	viewInstalls    *metrics.Counter
+	lwgFlushes      *metrics.Counter
+	switches        *metrics.Counter
+	rebinds         *metrics.Counter
+	mergeTriggers   *metrics.Counter
+	merges          *metrics.Counter
+	batchFlushes    *metrics.Counter
+	batchedMsgs     *metrics.Counter
+	batchedBytes    *metrics.Counter
+	preinstallDrops *metrics.Counter
+	lwgCount        *metrics.Gauge
+	hwgCount        *metrics.Gauge
 }
 
 func newEpMetrics(r *metrics.Registry) epMetrics {
 	return epMetrics{
-		joins:         r.Counter("lwg_joins_total"),
-		leaves:        r.Counter("lwg_leaves_total"),
-		sends:         r.Counter("lwg_sends_total"),
-		deliveries:    r.Counter("lwg_deliveries_total"),
-		viewInstalls:  r.Counter("lwg_view_installs_total"),
-		lwgFlushes:    r.Counter("lwg_flush_rounds_total"),
-		switches:      r.Counter("lwg_switches_total"),
-		rebinds:       r.Counter("lwg_rebinds_total"),
-		mergeTriggers: r.Counter("lwg_merge_triggers_total"),
-		merges:        r.Counter("lwg_merges_total"),
-		batchFlushes:  r.Counter("lwg_batch_flushes_total"),
-		batchedMsgs:   r.Counter("lwg_batched_msgs_total"),
-		batchedBytes:  r.Counter("lwg_batched_bytes_total"),
-		lwgCount:      r.Gauge("lwg_groups"),
-		hwgCount:      r.Gauge("hwg_groups"),
+		joins:           r.Counter("lwg_joins_total"),
+		leaves:          r.Counter("lwg_leaves_total"),
+		sends:           r.Counter("lwg_sends_total"),
+		deliveries:      r.Counter("lwg_deliveries_total"),
+		viewInstalls:    r.Counter("lwg_view_installs_total"),
+		lwgFlushes:      r.Counter("lwg_flush_rounds_total"),
+		switches:        r.Counter("lwg_switches_total"),
+		rebinds:         r.Counter("lwg_rebinds_total"),
+		mergeTriggers:   r.Counter("lwg_merge_triggers_total"),
+		merges:          r.Counter("lwg_merges_total"),
+		batchFlushes:    r.Counter("lwg_batch_flushes_total"),
+		batchedMsgs:     r.Counter("lwg_batched_msgs_total"),
+		batchedBytes:    r.Counter("lwg_batched_bytes_total"),
+		preinstallDrops: r.Counter("core_preinstall_drops_total"),
+		lwgCount:        r.Gauge("lwg_groups"),
+		hwgCount:        r.Gauge("hwg_groups"),
 	}
 }
 
@@ -367,6 +379,41 @@ func (e *Endpoint) LWGView(lwg ids.LWGID) (ids.View, bool) {
 		return ids.View{}, false
 	}
 	return m.view.Clone(), true
+}
+
+// LWGPhase names the protocol phase of this process's membership in the
+// group: "resolving", "joining", "active", "stopped" (LWG flush in
+// progress), "switching", or "" when the process holds no state for it.
+// Exposed for introspection (debug endpoints) and for the schedule
+// enumerator's canonical state digest.
+func (e *Endpoint) LWGPhase(lwg ids.LWGID) string {
+	m, ok := e.lwgs[lwg]
+	if !ok {
+		return ""
+	}
+	switch m.state {
+	case lwgResolving:
+		return "resolving"
+	case lwgJoining:
+		return "joining"
+	case lwgActive:
+		return "active"
+	case lwgStopped:
+		return "stopped"
+	case lwgSwitching:
+		return "switching"
+	}
+	return "unknown"
+}
+
+// PreInstallBuffered returns how many data messages the member currently
+// holds in its pre-install buffer (0 when not a member).
+func (e *Endpoint) PreInstallBuffered(lwg ids.LWGID) int {
+	m, ok := e.lwgs[lwg]
+	if !ok {
+		return 0
+	}
+	return len(m.preInstall)
 }
 
 // Mapping returns the heavy-weight group the process's view of the LWG is

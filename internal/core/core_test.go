@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"plwg/internal/ids"
+	"plwg/internal/metrics"
 	"plwg/internal/naming"
 	"plwg/internal/netsim"
 	"plwg/internal/sim"
@@ -55,6 +56,7 @@ type cWorld struct {
 	ups     map[ids.ProcessID]*cRec
 	servers map[ids.ProcessID]*naming.Server
 	tracer  *trace.Recorder
+	reg     *metrics.Registry
 	// chaosMembers and chaosCrashed carry the expected end-state
 	// membership and the crash set out of the chaos schedule
 	// (chaos_test.go).
@@ -80,6 +82,7 @@ func newCWorldVS(t *testing.T, n int, serverPids []ids.ProcessID, cfg Config, ns
 		ups:     make(map[ids.ProcessID]*cRec),
 		servers: make(map[ids.ProcessID]*naming.Server),
 		tracer:  &trace.Recorder{},
+		reg:     metrics.NewRegistry(),
 	}
 	for i := 0; i < n; i++ {
 		pid := ids.ProcessID(i)
@@ -94,6 +97,7 @@ func newCWorldVS(t *testing.T, n int, serverPids []ids.ProcessID, cfg Config, ns
 			Naming:  nsCfg,
 			Upcalls: rec,
 			Tracer:  w.tracer,
+			Metrics: w.reg,
 		}, mux)
 		for _, sp := range serverPids {
 			if sp == pid {

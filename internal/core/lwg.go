@@ -61,6 +61,18 @@ type lwgMember struct {
 	fl             *lwgFlushRound
 	pendingJoiners map[ids.ProcessID]bool
 	pendingLeavers map[ids.ProcessID]bool
+	// pendingRejoiners are processes already listed in the current view
+	// that nevertheless requested admission: their stale membership was
+	// carried into this view by a merge while they were still resolving,
+	// so they missed any traffic the view has already carried. They are
+	// served by cutting a fresh view (same members, new boundary) so
+	// their delivery obligations start where their buffering did.
+	pendingRejoiners map[ids.ProcessID]bool
+
+	// seenTraffic reports whether any data has been delivered in the
+	// current view; reset at every install. A quiet view is safe to
+	// re-announce to a rejoiner — there is nothing it can have missed.
+	seenTraffic bool
 
 	// Leave intent of this process.
 	leaveRequested bool
@@ -104,12 +116,13 @@ type switchRound struct {
 
 func newLwgMember(e *Endpoint, id ids.LWGID) *lwgMember {
 	return &lwgMember{
-		e:              e,
-		id:             id,
-		pendingJoiners: make(map[ids.ProcessID]bool),
-		pendingLeavers: make(map[ids.ProcessID]bool),
-		cSends:         e.reg.Counter("lwg_sends_total", metrics.L("lwg", string(id))),
-		cDelivers:      e.reg.Counter("lwg_deliveries_total", metrics.L("lwg", string(id))),
+		e:                e,
+		id:               id,
+		pendingJoiners:   make(map[ids.ProcessID]bool),
+		pendingLeavers:   make(map[ids.ProcessID]bool),
+		pendingRejoiners: make(map[ids.ProcessID]bool),
+		cSends:           e.reg.Counter("lwg_sends_total", metrics.L("lwg", string(id))),
+		cDelivers:        e.reg.Counter("lwg_deliveries_total", metrics.L("lwg", string(id))),
 	}
 }
 
@@ -387,13 +400,31 @@ func (m *lwgMember) maybeFound() {
 
 func (m *lwgMember) onJoinReq(from ids.ProcessID) {
 	if m.view.Contains(from) {
-		// Already admitted; the joiner may have missed the view
-		// announcement — repeat it.
-		if m.isCoordinator() && m.state == lwgActive {
-			m.e.hwgSend(m.hwg, &lwgView{
-				Rec: viewRecord{LWG: m.id, View: m.view.Clone(), Ancestors: m.ancestors},
-				HWG: m.hwg,
-			})
+		// A join request from a member of record. Either the joiner's
+		// retry crossed its admission announcement in flight — it has
+		// been mapped and pre-install buffering since before the
+		// admission flush, so repeating the announcement is enough —
+		// or a merge resurrected its stale membership while it was
+		// still resolving its mapping, in which case any data already
+		// sent in this view is gone for it and a repeated announcement
+		// would hand it a delivery window with a hole in it. The two
+		// are indistinguishable here, but a view that has carried no
+		// traffic has nothing to miss (anything sent from now on is
+		// buffered by the mapped joiner): re-announce only then,
+		// otherwise cut a fresh view so the rejoiner's obligations
+		// start at a clean boundary.
+		if !m.seenTraffic {
+			if m.isCoordinator() && m.state == lwgActive {
+				m.e.hwgSend(m.hwg, &lwgView{
+					Rec: viewRecord{LWG: m.id, View: m.view.Clone(), Ancestors: m.ancestors},
+					HWG: m.hwg,
+				})
+			}
+			return
+		}
+		m.pendingRejoiners[from] = true
+		if m.actsAsCoordinator() {
+			m.maybeLwgReconfig()
 		}
 		return
 	}
@@ -428,6 +459,17 @@ func (m *lwgMember) maybeLwgReconfig() {
 			joiners = append(joiners, p)
 		}
 	}
+	// A rejoiner still in the view forces a view change even though the
+	// membership is unchanged; one that fell out in the meantime is a
+	// plain admission.
+	rejoining := false
+	for p := range m.pendingRejoiners {
+		if m.view.Contains(p) {
+			rejoining = true
+		} else {
+			joiners = append(joiners, p)
+		}
+	}
 	leavers := make(ids.Members, 0, len(m.pendingLeavers)+1)
 	for p := range m.pendingLeavers {
 		if m.view.Contains(p) {
@@ -437,7 +479,7 @@ func (m *lwgMember) maybeLwgReconfig() {
 	if m.leaveRequested {
 		leavers = append(leavers, e.pid)
 	}
-	if len(joiners) == 0 && len(leavers) == 0 {
+	if len(joiners) == 0 && len(leavers) == 0 && !rejoining {
 		return
 	}
 	newMembers := m.view.Members.Clone()
@@ -454,7 +496,9 @@ func (m *lwgMember) maybeLwgReconfig() {
 		},
 		Ancestors: append(append(ids.ViewIDs{}, m.ancestors...), oldID),
 	}
-	admitting := len(joiners) > 0
+	// Rejoiners need the state snapshot too: they are fresh process
+	// incarnations whatever the membership list says.
+	admitting := len(joiners) > 0 || rejoining
 	m.startLwgFlush("reconfig", func() {
 		if len(rec.View.Members) == 0 {
 			// Everyone left: dissolve the group.
@@ -571,6 +615,14 @@ func (m *lwgMember) lwgFlushComplete() bool {
 }
 
 func (m *lwgMember) onStop(msg *lwgStop) {
+	if m.state == lwgResolving || m.state == lwgJoining {
+		// Nothing to quiesce — no installed view, and sends queue until
+		// admission. But the flush may be counting us: a reconfig that
+		// cuts a fresh boundary for our own rejoin flushes the view our
+		// stale membership sits in. Answer like the phantom case does.
+		m.e.hwgSend(m.hwg, &lwgFlushOk{LWG: m.id, View: msg.View, From: m.e.pid})
+		return
+	}
 	if msg.View != m.view.ID {
 		return
 	}
@@ -600,6 +652,19 @@ func (m *lwgMember) requestLeave() {
 			e.deleteMapping(m.id, m.proposedView.ID)
 		}
 		e.dropLwg(m.id)
+		// A merge may have resurrected our stale membership from an
+		// earlier incarnation while we were resolving: the view
+		// announcement naming this process arrived, but with local
+		// state present it was only recorded, never installed (that
+		// needs a mapped joiner) and never repudiated (that needs no
+		// state at all). Now that the state is gone, nobody would ever
+		// answer for it — the survivors keep a ghost member forever.
+		// Repudiate every recorded view of this LWG that claims us.
+		for _, st := range e.hwgs {
+			for _, rec := range st.known[m.id] {
+				e.maybeRepudiate(st, rec)
+			}
+		}
 		return
 	}
 	m.leaveRequested = true
@@ -634,9 +699,13 @@ func (m *lwgMember) armLeaveTicker() {
 // few times in the background.
 func (e *Endpoint) deleteMapping(lwg ids.LWGID, view ids.ViewID) {
 	attempt := 0
+	// One version for all retries: they are resends of the same logical
+	// delete, and a later re-creation of the mapping (same view ID, higher
+	// version) must win against every one of them.
+	ver := e.nextVer()
 	var try func()
 	try = func() {
-		e.ns.Delete(lwg, view, func(_ []naming.Entry, ok bool) {
+		e.ns.Delete(lwg, view, ver, func(_ []naming.Entry, ok bool) {
 			if !ok && attempt < 5 {
 				attempt++
 				e.clock.After(e.cfg.NSRetryInterval, try)
@@ -704,6 +773,7 @@ func (m *lwgMember) installView(rec viewRecord, hwg ids.HWGID) {
 	m.view = rec.View.Clone()
 	m.ancestors = append(ids.ViewIDs{}, rec.Ancestors...)
 	m.hwg = hwg
+	m.seenTraffic = false
 	m.switchTarget = ids.NoHWG
 	e.observeLwgView(m.id, rec.View.ID)
 
@@ -733,6 +803,14 @@ func (m *lwgMember) installView(rec viewRecord, hwg ids.HWGID) {
 			delete(m.pendingLeavers, p)
 		}
 	}
+	// Any view minted after a rejoin request satisfies it: the rejoiner
+	// adopts this view's announcement and has buffered its traffic since
+	// before the flush.
+	for p := range m.pendingRejoiners {
+		if rec.View.Contains(p) {
+			delete(m.pendingRejoiners, p)
+		}
+	}
 
 	e.ins.viewInstalls.Inc()
 	e.traceEvent(trace.Event{
@@ -752,7 +830,8 @@ func (m *lwgMember) installView(rec viewRecord, hwg ids.HWGID) {
 	m.replayPreInstall()
 	m.drainSends()
 	// Serve joins and leaves that queued up during the change.
-	if m.actsAsCoordinator() && (len(m.pendingJoiners) > 0 || len(m.pendingLeavers) > 0 || m.leaveRequested) {
+	if m.actsAsCoordinator() && (len(m.pendingJoiners) > 0 || len(m.pendingLeavers) > 0 ||
+		len(m.pendingRejoiners) > 0 || m.leaveRequested) {
 		m.maybeLwgReconfig()
 	} else if m.leaveRequested && !m.isCoordinator() && m.leaveTicker == nil {
 		// A leaving coordinator handles its own exit through a reconfig

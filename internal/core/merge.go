@@ -189,6 +189,7 @@ func (e *Endpoint) onLwgData(st *hwgState, src ids.ProcessID, msg *lwgData) {
 // deliverData hands one data message to the application.
 func (m *lwgMember) deliverData(src ids.ProcessID, msg *lwgData) {
 	e := m.e
+	m.seenTraffic = true
 	e.ins.deliveries.Inc()
 	m.cDelivers.Inc()
 	e.traceEvent(trace.Event{
@@ -204,14 +205,29 @@ func (m *lwgMember) deliverData(src ids.ProcessID, msg *lwgData) {
 	}
 }
 
-// maxPreInstall bounds the joiner-side data buffer; a joiner that falls
-// further behind sheds the oldest messages (they are the most likely to
-// be superseded by the time a view installs).
-const maxPreInstall = 1024
-
+// bufferPreInstall queues data received under a view not yet installed
+// for replay at install time. Config.MaxPreInstall bounds the buffer; a
+// member that falls further behind sheds the oldest message (the most
+// likely to be superseded by the time a view installs). Shedding is never
+// silent: the drop is counted (core_preinstall_drops_total) and traced as
+// LWGPreInstallDrop, which the invariant checker reports as a finding —
+// an overflow-induced delivery gap must be distinguishable from the
+// benign races this buffer exists to absorb.
 func (m *lwgMember) bufferPreInstall(src ids.ProcessID, msg *lwgData) {
-	if len(m.preInstall) >= maxPreInstall {
+	e := m.e
+	if len(m.preInstall) >= e.cfg.MaxPreInstall {
+		dropped := m.preInstall[0]
 		m.preInstall = m.preInstall[1:]
+		e.ins.preinstallDrops.Inc()
+		e.traceEvent(trace.Event{
+			What:  trace.LWGPreInstallDrop,
+			Group: string(dropped.msg.LWG),
+			View:  dropped.msg.View,
+			Src:   dropped.src,
+			Data:  string(dropped.msg.Data),
+			Text: fmt.Sprintf("%s: pre-install buffer full (%d), shed %q from %v in %v",
+				m.id, e.cfg.MaxPreInstall, dropped.msg.Data, dropped.src, dropped.msg.View),
+		})
 	}
 	m.preInstall = append(m.preInstall, pendingData{src: src, msg: msg})
 }
@@ -346,6 +362,10 @@ func (e *Endpoint) onLwgView(st *hwgState, msg *lwgView) {
 	}
 	if m.hwg != st.gid {
 		e.recordKnown(st, rec)
+		// The announcement may still claim this process — a merge on an
+		// HWG we are not (or no longer) targeting can resurrect a stale
+		// incarnation of us while we resolve or join elsewhere.
+		e.maybeRepudiate(st, rec)
 		return
 	}
 	e.onViewRecord(st, rec)
@@ -406,10 +426,18 @@ func (e *Endpoint) maybeRepudiate(st *hwgState, rec viewRecord) {
 	if !rec.View.Contains(e.pid) {
 		return
 	}
-	if _, stillMember := e.lwgs[rec.LWG]; stillMember {
-		// Real state exists (possibly mapped on another HWG, e.g. a
-		// switch in progress): not a phantom, other machinery rules.
-		return
+	if m, stillMember := e.lwgs[rec.LWG]; stillMember {
+		// A resolving member — or one joining a *different* HWG, i.e.
+		// a forwarded join — has never been admitted anywhere as this
+		// incarnation, so a view claiming it can only be a resurrected
+		// previous incarnation, and nothing else will ever answer for
+		// it. Any other state is not a phantom: a member joining here
+		// is about to be admitted, and an established member (e.g. a
+		// switch in progress) is legitimately known on its old HWG —
+		// other machinery rules those.
+		if m.state != lwgResolving && !(m.state == lwgJoining && m.hwg != st.gid) {
+			return
+		}
 	}
 	e.trace("repudiate", "%s: view %v claims this process; leaving", rec.LWG, rec.View.ID)
 	e.hwgSend(st.gid, &lwgLeaveReq{LWG: rec.LWG, From: e.pid})
@@ -615,6 +643,17 @@ func (e *Endpoint) reconcileOneLWG(st *hwgState, lwg ids.LWGID) {
 		}
 		if m.isCoordinator() {
 			e.updateMapping(m)
+		}
+		// The aborted flush may have been carrying join/leave intent
+		// (the coordinator's own leave included). installView replays
+		// that intent after a view change, but this branch installs no
+		// view — without the same replay the reconfiguration is lost
+		// for good: nothing else retriggers a coordinator-side flush.
+		if m.actsAsCoordinator() && (len(m.pendingJoiners) > 0 || len(m.pendingLeavers) > 0 ||
+			len(m.pendingRejoiners) > 0 || m.leaveRequested) {
+			m.maybeLwgReconfig()
+		} else if m.leaveRequested && !m.isCoordinator() && m.leaveTicker == nil {
+			m.armLeaveTicker()
 		}
 	case final.View.Contains(e.pid):
 		m.installView(final, st.gid)

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"plwg/internal/ids"
+	"plwg/internal/netsim"
+)
+
+// TestRejoinAfterResurrectionGetsFreshView pins the fix for a virtual
+// synchrony hole found by the bounded enumerator (reproducer:
+// explore/testdata/enum/rejoin-window-hole.schedule).
+//
+// The setup resurrects a departed member: p2 dissolves the group, but its
+// defunct singleton view survives in p1's known-view set, and the
+// post-heal merge folds it back in — so the merged view lists p2 while p2
+// is still resolving its mapping (its naming lookup is stuck behind the
+// partition). Data sent in that view never reaches p2 (unmapped processes
+// filter HWG traffic). When p2's join request finally arrives, the old
+// coordinator answer — "already a member, repeat the announcement" —
+// handed p2 a view whose delivery window already had traffic p2 missed,
+// breaking delivery agreement. The fix cuts a fresh view for such
+// rejoiners whenever the current view has carried traffic.
+func TestRejoinAfterResurrectionGetsFreshView(t *testing.T) {
+	w := newCWorld(t, 3, []ids.ProcessID{0}, testCfg())
+	step := func(f func()) {
+		f()
+		w.run(50 * time.Millisecond)
+	}
+
+	step(func() { _ = w.eps[1].Join("a") })
+	step(func() { _ = w.eps[2].Join("a") })
+	step(func() { _ = w.eps[1].Leave("a") })
+	step(func() { _ = w.eps[2].Leave("a") }) // last member: dissolves
+	step(func() { _ = w.eps[1].Join("a") })  // p1 re-founds the group
+	// Cut the naming server (p0) away; p2's rejoin stalls in resolving.
+	step(func() { w.nw.SetPartitions([]netsim.NodeID{0}, []netsim.NodeID{1, 2}) })
+	step(func() { _ = w.eps[0].Join("a") })
+	step(func() { _ = w.eps[0].Leave("a") })
+	step(func() { _ = w.eps[2].Join("a") })
+	// Heal: the HWG flush reconciles, and the merge resurrects p2's
+	// stale membership into p1's view while p2 is still resolving.
+	step(func() { w.nw.Heal() })
+
+	// Send in the merged view before p2 completes its join.
+	if err := w.eps[1].Send("a", []byte("m1")); err != nil {
+		t.Fatal(err)
+	}
+	sendView := w.lwgView(1, "a").ID
+
+	w.run(10 * time.Second)
+
+	final, _ := w.requireLWG("a", 1, 2)
+	if final.ID == sendView {
+		t.Fatalf("rejoiner was handed the traffic-bearing view %v verbatim; "+
+			"a fresh boundary view was never cut\ntrace:\n%s",
+			sendView, w.tracer.Dump())
+	}
+	for _, d := range w.ups[2].dataOf("a") {
+		if d == "m1" {
+			t.Fatalf("p2 delivered %q although its window began after it\ntrace:\n%s",
+				d, w.tracer.Dump())
+		}
+	}
+	delivered := false
+	for _, d := range w.ups[1].dataOf("a") {
+		delivered = delivered || d == "m1"
+	}
+	if !delivered {
+		t.Fatalf("p1 lost its own send\ntrace:\n%s", w.tracer.Dump())
+	}
+}
+
+// TestAbandonedRejoinRepudiatesGhostMembership pins the companion hole
+// (reproducer: explore/testdata/enum/abandoned-rejoin-ghost.schedule).
+// Same resurrection prefix as above, but p2 gives up on its stuck join
+// (Leave while resolving) instead of completing it. The merged view at
+// p1 still lists p2; with p2's local state dropped, nothing would ever
+// answer for that membership — the announcement naming p2 arrived while
+// p2 had (resolving) state, so the phantom-repudiation path never fired,
+// and no further announcements come. p1 keeps a ghost member forever and
+// the world never converges to {p1}. The fix makes the abort scan the
+// recorded views and repudiate any that claim this process.
+func TestAbandonedRejoinRepudiatesGhostMembership(t *testing.T) {
+	w := newCWorld(t, 3, []ids.ProcessID{0}, testCfg())
+	step := func(f func()) {
+		f()
+		w.run(50 * time.Millisecond)
+	}
+
+	step(func() { _ = w.eps[1].Join("a") })
+	step(func() { _ = w.eps[2].Join("a") })
+	step(func() { _ = w.eps[1].Leave("a") })
+	step(func() { _ = w.eps[2].Leave("a") }) // last member: dissolves
+	step(func() { _ = w.eps[1].Join("a") })  // p1 re-founds the group
+	step(func() { w.nw.SetPartitions([]netsim.NodeID{0}, []netsim.NodeID{1, 2}) })
+	step(func() { _ = w.eps[0].Join("a") })
+	step(func() { _ = w.eps[0].Leave("a") })
+	step(func() { _ = w.eps[2].Join("a") })  // stalls in resolving (p0 cut off)
+	step(func() { w.nw.Heal() })             // merge resurrects p2 into p1's view
+	step(func() { _ = w.eps[2].Leave("a") }) // p2 abandons the stuck join
+
+	w.run(10 * time.Second)
+
+	final := w.lwgView(1, "a")
+	if !final.Members.Equal(ids.NewMembers(1)) {
+		t.Fatalf("p1's view kept a ghost member: %v, want {p1}\ntrace:\n%s",
+			final.Members, w.tracer.Dump())
+	}
+	if _, ok := w.eps[2].LWGView("a"); ok {
+		t.Fatalf("p2 abandoned its join but still has a view of the group\ntrace:\n%s",
+			w.tracer.Dump())
+	}
+}

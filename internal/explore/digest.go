@@ -1,0 +1,142 @@
+package explore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"plwg/internal/ids"
+)
+
+// State digest for the bounded enumerator (see enumerate.go).
+//
+// The digest is a canonical fingerprint of the protocol-visible state of a
+// world: per-process LWG phase/view/mapping/pre-install backlog, vsync
+// membership and views, the naming databases' live mappings, the crash set
+// and the applied partition. Two worlds with equal digests are treated as
+// the same state and the enumerator explores successors from only one of
+// them.
+//
+// Canonicalisation makes the digest history-independent where the raw
+// state is not: view identifiers carry coordinator-local sequence numbers
+// and HWG identifiers come from an allocation counter, so two runs that
+// reach protocol-equivalent states through different interleavings hold
+// different raw identifiers. The digest therefore renames every ViewID and
+// HWGID to a small index assigned by first appearance in a deterministic
+// scan order (processes ascending, groups sorted, servers ascending).
+// Genealogy ancestry, lease timestamps, entry version counters and
+// in-flight network messages are deliberately excluded: they encode how
+// the state was reached (or when), not what it is.
+//
+// The abstraction makes pruning aggressive but approximate, in the spirit
+// of bitstate hashing: a pruned state's in-flight traffic may differ from
+// the representative's, so coverage is of the abstracted state graph, not
+// the concrete one. Soundness of findings is unaffected — every reported
+// wedge or violation comes with a concrete schedule that replays it.
+
+// canon renames raw identifiers to first-appearance indices.
+type canon struct {
+	views map[ids.ViewID]int
+	hwgs  map[ids.HWGID]int
+}
+
+func newCanon() *canon {
+	return &canon{views: make(map[ids.ViewID]int), hwgs: make(map[ids.HWGID]int)}
+}
+
+func (c *canon) view(v ids.ViewID) string {
+	if v.IsZero() {
+		return "-"
+	}
+	i, ok := c.views[v]
+	if !ok {
+		i = len(c.views)
+		c.views[v] = i
+	}
+	return fmt.Sprintf("v%d", i)
+}
+
+func (c *canon) hwg(h ids.HWGID) string {
+	if h == ids.NoHWG {
+		return "-"
+	}
+	i, ok := c.hwgs[h]
+	if !ok {
+		i = len(c.hwgs)
+		c.hwgs[h] = i
+	}
+	return fmt.Sprintf("h%d", i)
+}
+
+// digest fingerprints the world's protocol-visible state.
+func (w *world) digest() uint64 {
+	c := newCanon()
+	var b strings.Builder
+
+	lwgs := append([]ids.LWGID(nil), w.sched.LWGs...)
+	sort.Slice(lwgs, func(i, j int) bool { return lwgs[i] < lwgs[j] })
+
+	fmt.Fprintf(&b, "cut=%d\n", w.cut)
+	for i := 0; i < w.sched.Nodes; i++ {
+		pid := ids.ProcessID(i)
+		ep := w.eps[pid]
+		fmt.Fprintf(&b, "p%d crashed=%v\n", i, w.crashed[pid])
+		if w.crashed[pid] {
+			continue // a crashed process's state is unreachable forever
+		}
+		for _, l := range lwgs {
+			phase := ep.LWGPhase(l)
+			if phase == "" {
+				continue
+			}
+			fmt.Fprintf(&b, " lwg %s %s", l, phase)
+			if v, ok := ep.LWGView(l); ok {
+				fmt.Fprintf(&b, " %s%v", c.view(v.ID), v.Members)
+			}
+			if h, ok := ep.Mapping(l); ok {
+				fmt.Fprintf(&b, " on %s", c.hwg(h))
+			}
+			// The backlog count is bucketed: the exact depth encodes run
+			// history (every send grows it), and an unbounded counter in
+			// the digest would make the state graph infinite.
+			if n := ep.PreInstallBuffered(l); n > 2 {
+				b.WriteString(" buf=2+")
+			} else if n > 0 {
+				fmt.Fprintf(&b, " buf=%d", n)
+			}
+			b.WriteByte('\n')
+		}
+		stack := ep.HWGStack()
+		for _, g := range stack.Groups() {
+			v, ok := stack.CurrentView(g)
+			if !ok {
+				fmt.Fprintf(&b, " hwg %s joining\n", c.hwg(g))
+				continue
+			}
+			fmt.Fprintf(&b, " hwg %s %s%v\n", c.hwg(g), c.view(v.ID), v.Members)
+		}
+	}
+	for _, srv := range sortedServerPids(w.servers) {
+		db := w.servers[srv].DB()
+		fmt.Fprintf(&b, "ns p%v\n", srv)
+		for _, l := range db.LWGs() {
+			for _, e := range db.Live(l) {
+				fmt.Fprintf(&b, " map %s %s -> %s\n", l, c.view(e.View), c.hwg(e.HWG))
+			}
+		}
+	}
+
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(b.String()))
+	return h.Sum64()
+}
+
+func sortedServerPids[V any](m map[ids.ProcessID]V) []ids.ProcessID {
+	out := make([]ids.ProcessID, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

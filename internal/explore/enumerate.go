@@ -1,0 +1,541 @@
+package explore
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"plwg/internal/ids"
+	"plwg/internal/metrics"
+)
+
+// Bounded model checking over small-scope worlds (CHESS/dBug style
+// stateless search). The enumerator walks the tree of operation prefixes
+// breadth-first: every frontier entry is a concrete op list, re-executed
+// from a fresh world (the simulation is deterministic, so re-execution IS
+// state restoration). After each prefix it fingerprints the reached state
+// (digest.go); a digest seen before prunes the branch, which is what
+// closes the state graph and makes an exhaustive sweep of a small scope
+// terminate.
+//
+// Every newly visited state is also probed for liveness: the world is
+// healed and given the scope's quiescence window, then every safety
+// invariant plus heal-convergence runs (exactly what Run does after the
+// last op). A probe failure is a wedge — a reachable state from which the
+// protocol cannot reconverge — and is reported as a Finding whose schedule
+// replays under Run/Shrink/lwgcheck -replay unchanged.
+
+// Scope bounds the small world the enumerator sweeps. The text form is
+// "n<nodes>g<groups>[c<crashes>]", e.g. "n3g2" or "n4g2c1".
+type Scope struct {
+	// Nodes is the cluster size (naming server on node 0, never crashed).
+	Nodes int
+	// Groups is the number of light-weight groups (named a, b, ...).
+	Groups int
+	// Crashes is the crash budget (0 = no crash ops enumerated).
+	Crashes int
+	// OpDelay is the virtual time before each enumerated action op —
+	// short, so ops land mid-reconfiguration. Settling is explored
+	// separately through the wait op (Settle), which keeps the per-state
+	// branching at k+1 instead of k×delay-choices.
+	OpDelay time.Duration
+	// Settle is the wait op's delay: long enough for in-flight
+	// reconfiguration to complete, so settled branches collapse onto few
+	// digests.
+	Settle time.Duration
+	// Quiesce is the liveness bound: the post-heal convergence window
+	// every reachable state must reconverge within.
+	Quiesce time.Duration
+}
+
+// ParseScope parses the "n<nodes>g<groups>[c<crashes>]" grammar.
+func ParseScope(text string) (Scope, error) {
+	sc := Scope{
+		OpDelay: 50 * time.Millisecond,
+		Settle:  500 * time.Millisecond,
+		Quiesce: 12 * time.Second,
+	}
+	rest := text
+	get := func(tag byte) (int, bool, error) {
+		if rest == "" || rest[0] != tag {
+			return 0, false, nil
+		}
+		i := 1
+		for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+			i++
+		}
+		if i == 1 {
+			return 0, false, fmt.Errorf("scope %q: %q wants digits", text, tag)
+		}
+		n, err := strconv.Atoi(rest[1:i])
+		rest = rest[i:]
+		return n, true, err
+	}
+	n, ok, err := get('n')
+	if err != nil || !ok {
+		return Scope{}, fmt.Errorf("scope %q: want n<nodes>g<groups>[c<crashes>]", text)
+	}
+	sc.Nodes = n
+	g, ok, err := get('g')
+	if err != nil || !ok {
+		return Scope{}, fmt.Errorf("scope %q: want n<nodes>g<groups>[c<crashes>]", text)
+	}
+	sc.Groups = g
+	if c, ok, err := get('c'); err != nil {
+		return Scope{}, err
+	} else if ok {
+		sc.Crashes = c
+	}
+	if rest != "" {
+		return Scope{}, fmt.Errorf("scope %q: trailing %q", text, rest)
+	}
+	if sc.Nodes < 2 || sc.Nodes > 5 {
+		return Scope{}, fmt.Errorf("scope %q: nodes must be 2..5 (small-scope search)", text)
+	}
+	if sc.Groups < 1 || sc.Groups > 3 {
+		return Scope{}, fmt.Errorf("scope %q: groups must be 1..3", text)
+	}
+	if sc.Crashes >= sc.Nodes-1 {
+		return Scope{}, fmt.Errorf("scope %q: crash budget must leave two live nodes", text)
+	}
+	return sc, nil
+}
+
+// String renders the scope back into the ParseScope grammar.
+func (sc Scope) String() string {
+	s := fmt.Sprintf("n%dg%d", sc.Nodes, sc.Groups)
+	if sc.Crashes > 0 {
+		s += fmt.Sprintf("c%d", sc.Crashes)
+	}
+	return s
+}
+
+// lwgs names the scope's groups a, b, c...
+func (sc Scope) lwgs() []ids.LWGID {
+	out := make([]ids.LWGID, sc.Groups)
+	for i := range out {
+		out[i] = ids.LWGID(string(rune('a' + i)))
+	}
+	return out
+}
+
+// schedule builds the replayable schedule for one op prefix.
+func (sc Scope) schedule(ops []Op) Schedule {
+	return Schedule{
+		Seed:    1, // inert: enumerated runs use the deterministic default network
+		Nodes:   sc.Nodes,
+		LWGs:    sc.lwgs(),
+		Ops:     ops,
+		Quiesce: sc.Quiesce,
+		Origin:  fmt.Sprintf("enumerate -scope %s", sc),
+	}
+}
+
+// EnumConfig configures one enumeration sweep.
+type EnumConfig struct {
+	Scope Scope
+	// Depth bounds the op-prefix length (default 12).
+	Depth int
+	// Budget bounds the number of worlds executed — each dequeued prefix
+	// costs one execution (re-run plus liveness probe). 0 = unbounded;
+	// the sweep then runs until the state graph closes.
+	Budget int
+	// MaxFindings stops the sweep after this many failures (default 8);
+	// a real wedge tends to recur in every successor state, and the
+	// findings get shrunk anyway.
+	MaxFindings int
+	// Resume continues a checkpointed sweep instead of starting at the
+	// empty prefix.
+	Resume *Checkpoint
+	// Metrics, when set, receives progress counters (enum_*).
+	Metrics *metrics.Registry
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (c EnumConfig) withDefaults() EnumConfig {
+	if c.Depth <= 0 {
+		c.Depth = 12
+	}
+	if c.MaxFindings <= 0 {
+		c.MaxFindings = 8
+	}
+	if c.Scope.OpDelay <= 0 {
+		c.Scope.OpDelay = 50 * time.Millisecond
+	}
+	if c.Scope.Settle <= 0 {
+		c.Scope.Settle = 500 * time.Millisecond
+	}
+	if c.Scope.Quiesce <= 0 {
+		c.Scope.Quiesce = 12 * time.Second
+	}
+	return c
+}
+
+// EnumStats counts the sweep's work.
+type EnumStats struct {
+	// Visited is the number of distinct (abstracted) states reached.
+	Visited int
+	// Pruned counts prefixes whose end state had been visited already.
+	Pruned int
+	// Runs counts world executions (one per dequeued prefix).
+	Runs int
+	// Deepest is the longest prefix executed.
+	Deepest int
+}
+
+// Finding is one schedule whose liveness probe or safety check failed.
+type Finding struct {
+	// Schedule replays the failure under Run (and lwgcheck -replay).
+	Schedule Schedule
+	// Result is the failing probe outcome.
+	Result Result
+}
+
+// EnumResult is the outcome of a sweep.
+type EnumResult struct {
+	Stats    EnumStats
+	Findings []Finding
+	// Swept reports the frontier emptied within the budget: every
+	// reachable abstracted state within Depth was visited.
+	Swept bool
+	// Checkpoint resumes the sweep where it stopped (nil when Swept).
+	Checkpoint *Checkpoint
+}
+
+// Enumerate sweeps the scope. It is deterministic: the same config (and
+// resume state) always produces the same stats and findings.
+func Enumerate(cfg EnumConfig) EnumResult {
+	cfg = cfg.withDefaults()
+	sc := cfg.Scope
+
+	runs := cfg.Metrics.Counter("enum_runs_total")
+	states := cfg.Metrics.Counter("enum_states_total")
+	pruned := cfg.Metrics.Counter("enum_pruned_total")
+	found := cfg.Metrics.Counter("enum_findings_total")
+	frontierGauge := cfg.Metrics.Gauge("enum_frontier")
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	visited := make(map[uint64]bool)
+	var frontier [][]Op
+	res := EnumResult{}
+	if cfg.Resume != nil {
+		for _, d := range cfg.Resume.Visited {
+			visited[d] = true
+		}
+		frontier = append(frontier, cfg.Resume.Frontier...)
+		res.Stats = cfg.Resume.Stats
+	} else {
+		frontier = [][]Op{nil} // the root: no ops applied
+	}
+
+	sliceRuns := 0 // Budget bounds this slice's work, not the cumulative
+	// stats restored from a checkpoint — otherwise every resumed slice
+	// would hit the budget instantly and never advance the frontier.
+	for len(frontier) > 0 {
+		if cfg.Budget > 0 && sliceRuns >= cfg.Budget {
+			break
+		}
+		if len(res.Findings) >= cfg.MaxFindings {
+			break
+		}
+		prefix := frontier[0]
+		frontier = frontier[1:]
+		frontierGauge.Set(int64(len(frontier)))
+
+		s := sc.schedule(prefix)
+		w := newWorld(s)
+		for _, op := range s.Ops {
+			w.advance(op.Delay)
+			if !w.completed {
+				break
+			}
+			w.apply(op)
+		}
+		res.Stats.Runs++
+		sliceRuns++
+		runs.Inc()
+		if len(prefix) > res.Stats.Deepest {
+			res.Stats.Deepest = len(prefix)
+		}
+		if !w.completed {
+			// The prefix itself livelocked — a wedge before the probe.
+			res.Findings = append(res.Findings, Finding{Schedule: s, Result: w.finish()})
+			found.Inc()
+			logf("wedge (livelock) at depth %d after %d runs", len(prefix), res.Stats.Runs)
+			continue
+		}
+
+		d := w.digest()
+		if visited[d] {
+			res.Stats.Pruned++
+			pruned.Inc()
+			continue
+		}
+		visited[d] = true
+		res.Stats.Visited++
+		states.Inc()
+		if res.Stats.Visited%500 == 0 {
+			logf("visited %d states, %d pruned, frontier %d, depth %d",
+				res.Stats.Visited, res.Stats.Pruned, len(frontier), len(prefix))
+		}
+
+		// Successors from the intent state (before the probe consumes the
+		// world). A wedged state's successors are not expanded: the wedge
+		// recurs below it and the finding already carries the schedule.
+		succ := w.enabledOps(sc)
+		probe := w.finish()
+		if probe.Failed() {
+			res.Findings = append(res.Findings, Finding{Schedule: s, Result: probe})
+			found.Inc()
+			logf("wedge at depth %d: %d violations, completed=%v",
+				len(prefix), len(probe.Violations), probe.Completed)
+			continue
+		}
+		if len(prefix) >= cfg.Depth {
+			continue
+		}
+		for _, op := range succ {
+			next := make([]Op, len(prefix), len(prefix)+1)
+			copy(next, prefix)
+			frontier = append(frontier, append(next, op))
+		}
+	}
+
+	res.Swept = len(frontier) == 0 && len(res.Findings) < cfg.MaxFindings
+	frontierGauge.Set(int64(len(frontier)))
+	if !res.Swept {
+		res.Checkpoint = &Checkpoint{
+			Scope:    sc,
+			Depth:    cfg.Depth,
+			Visited:  sortedDigests(visited),
+			Frontier: frontier,
+			Stats:    res.Stats,
+		}
+	}
+	return res
+}
+
+// enabledOps lists the operations applicable in the world's current
+// intent state, in canonical order (kind, process, group, cut), each with
+// the scope's short OpDelay, plus one long wait op. The guards mirror
+// apply() exactly, so no enumerated op degrades to a no-op.
+func (w *world) enabledOps(sc Scope) []Op {
+	var out []Op
+	lwgs := append([]ids.LWGID(nil), w.sched.LWGs...)
+	sort.Slice(lwgs, func(i, j int) bool { return lwgs[i] < lwgs[j] })
+	for i := 0; i < sc.Nodes; i++ {
+		p := ids.ProcessID(i)
+		if w.crashed[p] {
+			continue
+		}
+		for _, l := range lwgs {
+			if !w.memberOf[l][p] {
+				out = append(out, Op{Kind: OpJoin, P: p, LWG: l})
+			} else {
+				out = append(out, Op{Kind: OpLeave, P: p, LWG: l})
+				out = append(out, Op{Kind: OpSend, P: p, LWG: l})
+			}
+		}
+	}
+	if w.cut == 0 {
+		for cut := 1; cut < sc.Nodes; cut++ {
+			out = append(out, Op{Kind: OpPart, Cut: cut})
+		}
+	} else {
+		out = append(out, Op{Kind: OpHeal})
+	}
+	if len(w.crashed) < sc.Crashes {
+		for i := 0; i < sc.Nodes; i++ {
+			p := ids.ProcessID(i)
+			if !w.isServer[p] && !w.crashed[p] {
+				out = append(out, Op{Kind: OpCrash, P: p})
+			}
+		}
+	}
+	out = append(out, Op{Kind: OpPolicy})
+	for i := range out {
+		out[i].Delay = sc.OpDelay
+	}
+	// The settle branch: no action, just time — in-flight
+	// reconfiguration completes, and most settled branches collapse
+	// onto the same digest.
+	out = append(out, Op{Delay: sc.Settle, Kind: OpWait})
+	return out
+}
+
+func sortedDigests(m map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for d := range m {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// --- checkpointing -----------------------------------------------------------
+
+// Checkpoint is a resumable sweep: the visited-state set plus the
+// unexplored frontier. It lets CI split one scope across bounded slices
+// (run with -budget, save, resume) without re-walking visited states.
+type Checkpoint struct {
+	Scope    Scope
+	Depth    int
+	Visited  []uint64
+	Frontier [][]Op
+	Stats    EnumStats
+}
+
+// EncodeCheckpoint renders the checkpoint in the text format read by
+// ParseCheckpoint.
+func EncodeCheckpoint(cp *Checkpoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "enumcheckpoint v1\n")
+	fmt.Fprintf(&b, "scope %s\n", cp.Scope)
+	// Timing is part of scope identity: resuming with different delays
+	// would explore a different schedule space against the same visited
+	// set, silently corrupting the sweep.
+	fmt.Fprintf(&b, "timing %s %s %s\n", cp.Scope.OpDelay, cp.Scope.Settle, cp.Scope.Quiesce)
+	fmt.Fprintf(&b, "depth %d\n", cp.Depth)
+	fmt.Fprintf(&b, "stats %d %d %d %d\n",
+		cp.Stats.Visited, cp.Stats.Pruned, cp.Stats.Runs, cp.Stats.Deepest)
+	for i := 0; i < len(cp.Visited); i += 64 {
+		end := i + 64
+		if end > len(cp.Visited) {
+			end = len(cp.Visited)
+		}
+		b.WriteString("visited")
+		for _, d := range cp.Visited[i:end] {
+			fmt.Fprintf(&b, " %x", d)
+		}
+		b.WriteByte('\n')
+	}
+	for _, ops := range cp.Frontier {
+		b.WriteString("frontier")
+		for i, op := range ops {
+			if i == 0 {
+				b.WriteByte(' ')
+			} else {
+				b.WriteByte(';')
+			}
+			b.WriteString(op.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseCheckpoint reads the EncodeCheckpoint format.
+func ParseCheckpoint(text string) (*Checkpoint, error) {
+	cp := &Checkpoint{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	line := 0
+	sawHeader := false
+	fail := func(msg string) (*Checkpoint, error) {
+		return nil, fmt.Errorf("checkpoint line %d: %s", line, msg)
+	}
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if !sawHeader {
+			if len(fields) != 2 || fields[0] != "enumcheckpoint" || fields[1] != "v1" {
+				return fail(`expected header "enumcheckpoint v1"`)
+			}
+			sawHeader = true
+			continue
+		}
+		switch fields[0] {
+		case "scope":
+			if len(fields) != 2 {
+				return fail("scope wants one value")
+			}
+			s, err := ParseScope(fields[1])
+			if err != nil {
+				return fail(err.Error())
+			}
+			cp.Scope = s
+		case "timing":
+			if len(fields) != 4 {
+				return fail("timing wants <opdelay> <settle> <quiesce>")
+			}
+			ds := make([]time.Duration, 3)
+			for i, f := range fields[1:] {
+				d, err := time.ParseDuration(f)
+				if err != nil {
+					return fail(err.Error())
+				}
+				ds[i] = d
+			}
+			cp.Scope.OpDelay, cp.Scope.Settle, cp.Scope.Quiesce = ds[0], ds[1], ds[2]
+		case "depth":
+			if len(fields) != 2 {
+				return fail("depth wants one value")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return fail(err.Error())
+			}
+			cp.Depth = n
+		case "stats":
+			if len(fields) != 5 {
+				return fail("stats wants <visited> <pruned> <runs> <deepest>")
+			}
+			vals := make([]int, 4)
+			for i, f := range fields[1:] {
+				n, err := strconv.Atoi(f)
+				if err != nil {
+					return fail(err.Error())
+				}
+				vals[i] = n
+			}
+			cp.Stats = EnumStats{Visited: vals[0], Pruned: vals[1], Runs: vals[2], Deepest: vals[3]}
+		case "visited":
+			for _, f := range fields[1:] {
+				d, err := strconv.ParseUint(f, 16, 64)
+				if err != nil {
+					return fail(err.Error())
+				}
+				cp.Visited = append(cp.Visited, d)
+			}
+		case "frontier":
+			var ops []Op
+			rest := strings.TrimSpace(strings.TrimPrefix(sc.Text(), "frontier"))
+			if rest != "" {
+				for _, opText := range strings.Split(rest, ";") {
+					f := strings.Fields(opText)
+					if len(f) == 0 || f[0] != "op" {
+						return fail("frontier op must start with \"op\"")
+					}
+					op, err := parseOp(f[1:])
+					if err != nil {
+						return fail(err.Error())
+					}
+					ops = append(ops, op)
+				}
+			}
+			cp.Frontier = append(cp.Frontier, ops)
+		default:
+			return fail("unknown directive " + strconv.Quote(fields[0]))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("checkpoint: empty input")
+	}
+	if cp.Scope.Nodes == 0 {
+		return nil, fmt.Errorf("checkpoint: scope not set")
+	}
+	return cp, nil
+}

@@ -1,6 +1,8 @@
 package explore
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -77,5 +79,38 @@ func TestRunRTSmoke(t *testing.T) {
 	}
 	if len(r.World.Events) == 0 {
 		t.Fatal("no trace events recorded")
+	}
+}
+
+// TestRunRTConvergencePollsPastTheBell pins the deflake of the -rtnet
+// sweep under -par contention. The committed schedule
+// (testdata/rtnet/tight-quiesce.schedule) crashes a group member so its
+// naming lease must expire (3s TTL) before the checker can pass, and the
+// run uses a quiesce window tight enough that checking the state once
+// when the window elapses is a coin flip on a loaded box — exactly the
+// flake the parallel sweep used to produce, where wall-clock sleeps
+// elapsed while the cluster's goroutines were starved. RunRT now treats
+// the window as a minimum and keeps polling within a bounded grace
+// period until the checks pass, so this run must be robust even under
+// CPU contention.
+func TestRunRTConvergencePollsPastTheBell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time run")
+	}
+	text, err := os.ReadFile(filepath.Join("testdata", "rtnet", "tight-quiesce.schedule"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse(string(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunRT(s, RTOptions{Scale: 1, Quiesce: 4 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failed() {
+		t.Fatalf("tight-quiesce schedule failed: completed=%v violations=%v",
+			r.Completed, r.Violations)
 	}
 }

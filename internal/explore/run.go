@@ -1,15 +1,8 @@
 package explore
 
 import (
-	"fmt"
-	"time"
-
 	"plwg/internal/check"
-	"plwg/internal/core"
 	"plwg/internal/ids"
-	"plwg/internal/naming"
-	"plwg/internal/netsim"
-	"plwg/internal/sim"
 	"plwg/internal/trace"
 )
 
@@ -46,155 +39,15 @@ func (nopUpcalls) Data(ids.LWGID, ids.ProcessID, []byte) {}
 // every safety property at quiescence. It is deterministic: the same
 // schedule always yields the same Result.
 func Run(s Schedule) Result {
-	eng := sim.New(s.Seed)
-	nw := netsim.New(eng, netsim.DefaultParams())
-	tracer := &trace.Recorder{}
-
-	cfg := core.DefaultConfig()
-	cfg.PolicyInterval = time.Hour // policy runs only via OpPolicy
-	// Short mapping leases so mappings orphaned by crashed views expire
-	// within the quiescence window (genealogy GC cannot collect them).
-	cfg.MappingRefreshInterval = 2 * time.Second
-	nsCfg := naming.Config{MappingTTL: 8 * time.Second}
-
-	serverPids := s.Servers()
-	eps := make(map[ids.ProcessID]*core.Endpoint, s.Nodes)
-	servers := make(map[ids.ProcessID]*naming.Server)
-	for i := 0; i < s.Nodes; i++ {
-		pid := ids.ProcessID(i)
-		mux := netsim.NewMux()
-		eps[pid] = core.New(core.Params{
-			Net:     nw,
-			PID:     pid,
-			Servers: serverPids,
-			Config:  cfg,
-			Naming:  nsCfg,
-			Upcalls: nopUpcalls{},
-			Tracer:  tracer,
-		}, mux)
-		for _, sp := range serverPids {
-			if sp == pid {
-				srv := naming.NewServer(naming.ServerParams{
-					Net: nw, PID: pid, Peers: serverPids, Config: nsCfg, Tracer: tracer,
-				})
-				mux.Handle(naming.ServerPrefix, srv.HandleMessage)
-				srv.Start()
-				servers[pid] = srv
-			}
-		}
-		nw.AddNode(pid, mux.Handler())
-	}
-
-	isServer := make(map[ids.ProcessID]bool)
-	for _, p := range serverPids {
-		isServer[p] = true
-	}
-
-	memberOf := make(map[ids.LWGID]map[ids.ProcessID]bool)
-	for _, l := range s.LWGs {
-		memberOf[l] = make(map[ids.ProcessID]bool)
-	}
-	crashed := make(map[ids.ProcessID]bool)
-
-	completed := true
-	advance := func(d time.Duration) {
-		if !eng.RunForCapped(d, maxSteps-eng.Steps()) {
-			completed = false
-		}
-	}
-
-	known := func(l ids.LWGID) bool { return memberOf[l] != nil }
-	msgID := 0
+	w := newWorld(s)
 	for _, op := range s.Ops {
-		advance(op.Delay)
-		if !completed {
+		w.advance(op.Delay)
+		if !w.completed {
 			break
 		}
-		switch op.Kind {
-		case OpJoin:
-			if ep := eps[op.P]; ep != nil && known(op.LWG) && !crashed[op.P] && !memberOf[op.LWG][op.P] {
-				if err := ep.Join(op.LWG); err == nil {
-					memberOf[op.LWG][op.P] = true
-				}
-			}
-		case OpLeave:
-			if ep := eps[op.P]; ep != nil && known(op.LWG) && !crashed[op.P] && memberOf[op.LWG][op.P] {
-				_ = ep.Leave(op.LWG)
-				delete(memberOf[op.LWG], op.P)
-			}
-		case OpSend:
-			if ep := eps[op.P]; ep != nil && known(op.LWG) && !crashed[op.P] && memberOf[op.LWG][op.P] {
-				msgID++
-				_ = ep.Send(op.LWG, []byte(fmt.Sprintf("m%d", msgID)))
-			}
-		case OpPart:
-			if op.Cut > 0 && op.Cut < s.Nodes {
-				var a, b []netsim.NodeID
-				for i := 0; i < s.Nodes; i++ {
-					if i < op.Cut {
-						a = append(a, ids.ProcessID(i))
-					} else {
-						b = append(b, ids.ProcessID(i))
-					}
-				}
-				nw.SetPartitions(a, b)
-			}
-		case OpHeal:
-			nw.Heal()
-		case OpCrash:
-			if int(op.P) < s.Nodes && !isServer[op.P] && !crashed[op.P] {
-				nw.Crash(op.P)
-				crashed[op.P] = true
-				for _, l := range s.LWGs {
-					delete(memberOf[l], op.P)
-				}
-			}
-		case OpPolicy:
-			// Process order, so message emission is deterministic.
-			for i := 0; i < s.Nodes; i++ {
-				if p := ids.ProcessID(i); !crashed[p] {
-					eps[p].RunPolicyNow()
-				}
-			}
-		}
+		w.apply(op)
 	}
-
-	// Quiesce: heal everything and let reconciliation converge.
-	if completed {
-		nw.Heal()
-		advance(s.Quiesce)
-	}
-
-	expected := make(map[ids.LWGID]ids.Members)
-	for _, l := range sortedGroups(memberOf) {
-		var ms []ids.ProcessID
-		for p := range memberOf[l] {
-			ms = append(ms, p)
-		}
-		expected[l] = ids.NewMembers(ms...)
-	}
-
-	procs := make(map[ids.ProcessID]check.Process, len(eps))
-	for p, ep := range eps {
-		procs[p] = ep
-	}
-	dbs := make(map[ids.ProcessID]*naming.DB, len(servers))
-	for p, srv := range servers {
-		dbs[p] = srv.DB()
-	}
-	world := &check.World{
-		Events:   injectFault(tracer.Events, s.Fault),
-		Procs:    procs,
-		Servers:  dbs,
-		Expected: expected,
-		Crashed:  crashed,
-	}
-
-	res := Result{Completed: completed, World: world}
-	if completed {
-		res.Violations = check.Run(world)
-	}
-	return res
+	return w.finish()
 }
 
 // injectFault suppresses the Drop-th LWG delivery at Fault.Node,

@@ -34,6 +34,7 @@ const (
 	OpHeal   = "heal"   // heal all partitions
 	OpCrash  = "crash"  // P crashes permanently
 	OpPolicy = "policy" // run the mapping heuristics at every process
+	OpWait   = "wait"   // no action: just let Delay of virtual time pass
 )
 
 // Op is one step of a schedule. Inapplicable operations (joining a group
@@ -96,6 +97,12 @@ type Schedule struct {
 	// (RunRT). The simulated runner ignores it. Keeping it in the schedule
 	// makes real-network reproducers self-contained.
 	RTFaults string
+	// Origin records how the schedule was produced: empty for seeded
+	// random generation (Random), or a free-form provenance line such as
+	// "enumerate n3g2 depth 12". Reproducer uses it to print an honest
+	// re-discovery hint — a seed sweep cannot regenerate an enumerated
+	// schedule.
+	Origin string
 }
 
 // Servers returns the naming-server placement for the schedule.
@@ -201,6 +208,9 @@ func Encode(s Schedule) string {
 	}
 	fmt.Fprintf(&b, "lwgs %s\n", strings.Join(names, ","))
 	fmt.Fprintf(&b, "quiesce %v\n", s.Quiesce)
+	if s.Origin != "" {
+		fmt.Fprintf(&b, "origin %s\n", s.Origin)
+	}
 	if s.RTFaults != "" {
 		fmt.Fprintf(&b, "rtfaults %s\n", s.RTFaults)
 	}
@@ -268,6 +278,11 @@ func Parse(text string) (Schedule, error) {
 				return fail(err.Error())
 			}
 			s.Quiesce = d
+		case "origin":
+			if len(fields) < 2 {
+				return fail("origin wants a provenance description")
+			}
+			s.Origin = strings.Join(fields[1:], " ")
 		case "rtfaults":
 			if len(fields) != 2 {
 				return fail("rtfaults wants one fault spec (no spaces)")
@@ -339,7 +354,7 @@ func parseOp(fields []string) (Op, error) {
 			return Op{}, err
 		}
 		op.Cut = cut
-	case OpHeal, OpPolicy:
+	case OpHeal, OpPolicy, OpWait:
 		if len(fields) != 2 {
 			return Op{}, fmt.Errorf("%s wants no arguments", op.Kind)
 		}

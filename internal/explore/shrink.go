@@ -133,14 +133,20 @@ func refsNode(s Schedule, p ids.ProcessID) bool {
 }
 
 // Reproducer renders a failing schedule as a replay recipe: the encoded
-// schedule plus the commands that re-run it.
+// schedule plus the commands that re-run it. The seed-sweep hint only
+// applies to seeded random schedules; an enumerated (or shrunk
+// enumerated) schedule cannot be regenerated from a seed, so its origin
+// line is printed instead.
 func Reproducer(s Schedule) string {
 	mode := ""
 	if s.RTFaults != "" {
 		mode = "-rtnet "
 	}
-	return fmt.Sprintf(
-		"%s\n# replay: go run ./cmd/lwgcheck %s-replay <this file>\n"+
-			"# or:     go run ./cmd/lwgcheck %s-seeds 1 -start %d -nodes %d -ops %d\n",
-		Encode(s), mode, mode, s.Seed, s.Nodes, len(s.Ops))
+	out := fmt.Sprintf("%s\n# replay: go run ./cmd/lwgcheck %s-replay <this file>\n",
+		Encode(s), mode)
+	if s.Origin != "" {
+		return out + fmt.Sprintf("# found by: go run ./cmd/lwgcheck -%s\n", s.Origin)
+	}
+	return out + fmt.Sprintf("# or:     go run ./cmd/lwgcheck %s-seeds 1 -start %d -nodes %d -ops %d\n",
+		mode, s.Seed, s.Nodes, len(s.Ops))
 }

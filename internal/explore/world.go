@@ -1,0 +1,219 @@
+package explore
+
+import (
+	"fmt"
+	"time"
+
+	"plwg/internal/check"
+	"plwg/internal/core"
+	"plwg/internal/ids"
+	"plwg/internal/naming"
+	"plwg/internal/netsim"
+	"plwg/internal/sim"
+	"plwg/internal/trace"
+)
+
+// world is one live instance of the full stack — endpoints, virtual
+// synchrony substrate, naming servers, simulated network — set up for a
+// schedule's scope. Run drives a whole schedule through it in one call;
+// the enumerator (Enumerate) steps it operation by operation, reads a
+// state digest between steps, and probes liveness by finishing early.
+//
+// A world is single-use: after finish() the quiescence window has been
+// consumed and no further operations may be applied.
+type world struct {
+	sched  Schedule
+	eng    *sim.Sim
+	nw     *netsim.Network
+	tracer *trace.Recorder
+
+	eps      map[ids.ProcessID]*core.Endpoint
+	servers  map[ids.ProcessID]*naming.Server
+	isServer map[ids.ProcessID]bool
+
+	// memberOf is the intended membership: the joins minus the leaves
+	// and crashes the schedule performed (the checker's Expected set).
+	memberOf map[ids.LWGID]map[ids.ProcessID]bool
+	crashed  map[ids.ProcessID]bool
+	// cut is the currently applied partition split (0 = healed).
+	cut int
+
+	msgID     int
+	completed bool
+}
+
+// newWorld builds the stack for the schedule's scope (nodes, groups,
+// server placement) without applying any operations.
+func newWorld(s Schedule) *world {
+	w := &world{
+		sched:     s,
+		tracer:    &trace.Recorder{},
+		eps:       make(map[ids.ProcessID]*core.Endpoint, s.Nodes),
+		servers:   make(map[ids.ProcessID]*naming.Server),
+		isServer:  make(map[ids.ProcessID]bool),
+		memberOf:  make(map[ids.LWGID]map[ids.ProcessID]bool),
+		crashed:   make(map[ids.ProcessID]bool),
+		completed: true,
+	}
+	w.eng = sim.New(s.Seed)
+	w.nw = netsim.New(w.eng, netsim.DefaultParams())
+
+	cfg := core.DefaultConfig()
+	cfg.PolicyInterval = time.Hour // policy runs only via OpPolicy
+	// Short mapping leases so mappings orphaned by crashed views expire
+	// within the quiescence window (genealogy GC cannot collect them).
+	cfg.MappingRefreshInterval = 2 * time.Second
+	nsCfg := naming.Config{MappingTTL: 8 * time.Second}
+
+	serverPids := s.Servers()
+	for i := 0; i < s.Nodes; i++ {
+		pid := ids.ProcessID(i)
+		mux := netsim.NewMux()
+		w.eps[pid] = core.New(core.Params{
+			Net:     w.nw,
+			PID:     pid,
+			Servers: serverPids,
+			Config:  cfg,
+			Naming:  nsCfg,
+			Upcalls: nopUpcalls{},
+			Tracer:  w.tracer,
+		}, mux)
+		for _, sp := range serverPids {
+			if sp == pid {
+				srv := naming.NewServer(naming.ServerParams{
+					Net: w.nw, PID: pid, Peers: serverPids, Config: nsCfg, Tracer: w.tracer,
+				})
+				mux.Handle(naming.ServerPrefix, srv.HandleMessage)
+				srv.Start()
+				w.servers[pid] = srv
+			}
+		}
+		w.nw.AddNode(pid, mux.Handler())
+	}
+	for _, p := range serverPids {
+		w.isServer[p] = true
+	}
+	for _, l := range s.LWGs {
+		w.memberOf[l] = make(map[ids.ProcessID]bool)
+	}
+	return w
+}
+
+// advance runs the simulation for d of virtual time under the global step
+// budget; on budget exhaustion the world is marked incomplete (livelock).
+func (w *world) advance(d time.Duration) {
+	if !w.completed {
+		return
+	}
+	if !w.eng.RunForCapped(d, maxSteps-w.eng.Steps()) {
+		w.completed = false
+	}
+}
+
+// known reports whether the schedule declared the group.
+func (w *world) known(l ids.LWGID) bool { return w.memberOf[l] != nil }
+
+// apply performs one operation (after its Delay has been advanced).
+// Inapplicable operations degrade to no-ops, exactly as documented on Op.
+func (w *world) apply(op Op) {
+	s := w.sched
+	switch op.Kind {
+	case OpJoin:
+		if ep := w.eps[op.P]; ep != nil && w.known(op.LWG) && !w.crashed[op.P] && !w.memberOf[op.LWG][op.P] {
+			if err := ep.Join(op.LWG); err == nil {
+				w.memberOf[op.LWG][op.P] = true
+			}
+		}
+	case OpLeave:
+		if ep := w.eps[op.P]; ep != nil && w.known(op.LWG) && !w.crashed[op.P] && w.memberOf[op.LWG][op.P] {
+			_ = ep.Leave(op.LWG)
+			delete(w.memberOf[op.LWG], op.P)
+		}
+	case OpSend:
+		if ep := w.eps[op.P]; ep != nil && w.known(op.LWG) && !w.crashed[op.P] && w.memberOf[op.LWG][op.P] {
+			w.msgID++
+			_ = ep.Send(op.LWG, []byte(fmt.Sprintf("m%d", w.msgID)))
+		}
+	case OpPart:
+		if op.Cut > 0 && op.Cut < s.Nodes {
+			var a, b []netsim.NodeID
+			for i := 0; i < s.Nodes; i++ {
+				if i < op.Cut {
+					a = append(a, ids.ProcessID(i))
+				} else {
+					b = append(b, ids.ProcessID(i))
+				}
+			}
+			w.nw.SetPartitions(a, b)
+			w.cut = op.Cut
+		}
+	case OpHeal:
+		w.nw.Heal()
+		w.cut = 0
+	case OpCrash:
+		if int(op.P) < s.Nodes && !w.isServer[op.P] && !w.crashed[op.P] {
+			w.nw.Crash(op.P)
+			w.crashed[op.P] = true
+			for _, l := range s.LWGs {
+				delete(w.memberOf[l], op.P)
+			}
+		}
+	case OpPolicy:
+		// Process order, so message emission is deterministic.
+		for i := 0; i < s.Nodes; i++ {
+			if p := ids.ProcessID(i); !w.crashed[p] {
+				w.eps[p].RunPolicyNow()
+			}
+		}
+	case OpWait:
+		// No action: the op's Delay already passed before apply.
+	}
+}
+
+// expected computes the membership every group should converge to.
+func (w *world) expected() map[ids.LWGID]ids.Members {
+	out := make(map[ids.LWGID]ids.Members)
+	for _, l := range sortedGroups(w.memberOf) {
+		var ms []ids.ProcessID
+		for p := range w.memberOf[l] {
+			ms = append(ms, p)
+		}
+		out[l] = ids.NewMembers(ms...)
+	}
+	return out
+}
+
+// checkWorld snapshots the world for the invariant checker.
+func (w *world) checkWorld() *check.World {
+	procs := make(map[ids.ProcessID]check.Process, len(w.eps))
+	for p, ep := range w.eps {
+		procs[p] = ep
+	}
+	dbs := make(map[ids.ProcessID]*naming.DB, len(w.servers))
+	for p, srv := range w.servers {
+		dbs[p] = srv.DB()
+	}
+	return &check.World{
+		Events:   injectFault(w.tracer.Events, w.sched.Fault),
+		Procs:    procs,
+		Servers:  dbs,
+		Expected: w.expected(),
+		Crashed:  w.crashed,
+	}
+}
+
+// finish heals every partition, lets reconciliation converge for the
+// schedule's quiescence window, and runs every safety check. The world
+// must not be used afterwards.
+func (w *world) finish() Result {
+	if w.completed {
+		w.nw.Heal()
+		w.cut = 0
+		w.advance(w.sched.Quiesce)
+	}
+	res := Result{Completed: w.completed, World: w.checkWorld()}
+	if w.completed {
+		res.Violations = check.Run(res.World)
+	}
+	return res
+}

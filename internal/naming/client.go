@@ -116,10 +116,15 @@ func (c *Client) TestSet(e Entry, cb func([]Entry, bool)) {
 }
 
 // Delete tombstones the mapping of one LWG view (used when a group
-// dissolves).
-func (c *Client) Delete(lwg ids.LWGID, view ids.ViewID, cb func([]Entry, bool)) {
+// dissolves). The caller supplies the version from the same sequence its
+// set-view refreshes use: entries are single-writer per view (the view's
+// coordinator writes both refreshes and the dissolve), so the version
+// totally orders a delete against the refreshes around it — a delete
+// whose retry straggles in after the group was re-founded under the same
+// view ID carries a provably older version and is discarded.
+func (c *Client) Delete(lwg ids.LWGID, view ids.ViewID, ver uint64, cb func([]Entry, bool)) {
 	c.issue(&msgRequest{Op: opDelete, LWG: lwg, Entry: Entry{
-		LWG: lwg, View: view, Refreshed: int64(c.clock.Now()),
+		LWG: lwg, View: view, Ver: ver, Refreshed: int64(c.clock.Now()),
 	}}, cb)
 }
 

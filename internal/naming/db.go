@@ -170,17 +170,21 @@ func (db *DB) Put(e Entry) bool {
 		}
 	case e.Ver > cur.Ver,
 		e.Ver == cur.Ver && tieBreakPrefer(e, *cur):
-		// Higher version wins; equal versions with different content
-		// (impossible under the single-writer discipline, but replicas
-		// must converge regardless) break ties deterministically.
-		del := cur.Deleted || e.Deleted // tombstones stay sticky
+		// Higher version wins outright — tombstones included, in both
+		// directions. Entries are single-writer per view (the view's
+		// coordinator), so the version totally orders the writes to one
+		// slot: a higher-versioned tombstone supersedes the refreshes
+		// before it, and a higher-versioned live entry was written
+		// after any tombstone it displaces (the group was dissolved and
+		// then re-founded under a recycled view ID — the resurrection
+		// must not inherit the old incarnation's death). A stale delete
+		// whose retry loses the version race falls through to the
+		// default and is discarded; equal versions with different
+		// content (impossible under the single-writer discipline, but
+		// replicas must converge regardless) break ties
+		// deterministically.
 		cp := e
-		cp.Deleted = del
 		m[e.View] = &cp
-		changed = true
-	case e.Deleted && !cur.Deleted:
-		// A tombstone is terminal even when its version lost the race.
-		cur.Deleted = true
 		changed = true
 	}
 	if db.gc(e.LWG) {

@@ -45,17 +45,28 @@ func TestPutVersionOrdering(t *testing.T) {
 	}
 }
 
-func TestTombstoneSticky(t *testing.T) {
+func TestTombstoneVersioned(t *testing.T) {
 	db := NewDB()
 	db.Put(Entry{LWG: "a", View: vid(1, 1), HWG: 10, Ver: 1})
 	db.Put(Entry{LWG: "a", View: vid(1, 1), Ver: 2, Deleted: true})
 	if len(db.Live("a")) != 0 {
 		t.Fatal("deleted mapping still live")
 	}
-	// Even a newer non-deleted write cannot resurrect the view.
+	// Entries are single-writer per view, so a newer write was issued
+	// after the delete: the group was re-founded under a recycled view
+	// ID, and the mapping must resurrect.
 	db.Put(Entry{LWG: "a", View: vid(1, 1), HWG: 10, Ver: 9})
-	if len(db.Live("a")) != 0 {
-		t.Fatal("tombstone must be sticky")
+	if len(db.Live("a")) != 1 {
+		t.Fatal("re-created mapping must displace the older tombstone")
+	}
+	// Conversely, a delete that lost the version race was issued before
+	// the stored entry and is discarded: the straggling retry of a
+	// pre-re-creation dissolve must not kill the live mapping.
+	if db.Put(Entry{LWG: "a", View: vid(1, 1), Ver: 5, Deleted: true}) {
+		t.Fatal("stale delete reported a change")
+	}
+	if len(db.Live("a")) != 1 {
+		t.Fatal("stale delete killed the live mapping")
 	}
 }
 

@@ -61,6 +61,12 @@ const (
 	// NSDigest marks one leg of a naming-service digest/delta
 	// anti-entropy exchange. The event carries Ref (the peer).
 	NSDigest = "ns-digest"
+	// LWGPreInstallDrop marks a pre-install buffer overflow shedding a
+	// view-tagged data message before it could be replayed. The event
+	// carries Group, View (the tag of the dropped message), Src and Data.
+	// The invariant checker treats it as a finding: an overflow-induced
+	// delivery gap must never pass as silence.
+	LWGPreInstallDrop = "lwg-preinstall-drop"
 )
 
 // Event is one traced protocol event.
