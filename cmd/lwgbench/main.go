@@ -10,8 +10,9 @@
 //
 // Usage:
 //
-//	lwgbench -experiment fig2-latency|fig2-throughput|fig2-recovery|fig-scale|all
+//	lwgbench -experiment fig2-latency|fig2-throughput|fig2-recovery|fig-scale|enum-throughput|all
 //	         [-ns 1,2,4,8,16,32] [-groups 64,256,1024,4096]
+//	         [-enum-scope n3g2] [-enum-depth 5] [-enum-par 4]
 //	         [-seed 1] [-measure 5s] [-json BENCH_plwg.json]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -45,7 +46,10 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("lwgbench", flag.ContinueOnError)
 	experiment := fs.String("experiment", "all",
-		"fig2-latency | fig2-throughput | fig2-recovery | fig-scale | rt-throughput | all")
+		"fig2-latency | fig2-throughput | fig2-recovery | fig-scale | rt-throughput | enum-throughput | all")
+	enumScope := fs.String("enum-scope", "n3g2", "enum-throughput scope")
+	enumDepth := fs.Int("enum-depth", 5, "enum-throughput depth bound")
+	enumPar := fs.Int("enum-par", 4, "enum-throughput fast-mode worker count")
 	nsFlag := fs.String("ns", "1,2,4,8,16,32", "comma-separated groups-per-set sweep")
 	groupsFlag := fs.String("groups", "64,256,1024,4096",
 		"comma-separated LWG-count sweep for fig-scale")
@@ -101,7 +105,8 @@ func run(args []string, out *os.File) error {
 	}
 
 	if *jsonPath != "" {
-		return writeJSON(*jsonPath, ns, groups, procs, *seed, d, out)
+		return writeJSON(*jsonPath, ns, groups, procs, *seed, d, out,
+			*enumScope, *enumDepth, *enumPar)
 	}
 
 	fmt.Fprintf(out, "plwg evaluation — %d-node simulated 10 Mbps shared Ethernet, seed %d\n",
@@ -120,6 +125,8 @@ func run(args []string, out *os.File) error {
 		bench.FigScale(out, groups, *seed, d)
 	case "rt-throughput":
 		bench.RTThroughput(out, procs, *measure, *seed)
+	case "enum-throughput":
+		bench.EnumThroughput(out, *enumScope, *enumDepth, *enumPar)
 	case "all":
 		bench.Figure2Latency(out, ns, *seed, d)
 		fmt.Fprintln(out)
@@ -130,6 +137,8 @@ func run(args []string, out *os.File) error {
 		bench.FigScale(out, groups, *seed, d)
 		fmt.Fprintln(out)
 		bench.RTThroughput(out, procs, *measure, *seed)
+		fmt.Fprintln(out)
+		bench.EnumThroughput(out, *enumScope, *enumDepth, *enumPar)
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
@@ -139,7 +148,8 @@ func run(args []string, out *os.File) error {
 // writeJSON runs the Figure 2 and fig-scale sweeps plus the codec
 // microbenchmarks and writes the flat record list (mode × metric ×
 // value).
-func writeJSON(path string, ns, groups, procs []int, seed int64, d bench.Durations, out *os.File) error {
+func writeJSON(path string, ns, groups, procs []int, seed int64, d bench.Durations, out *os.File,
+	enumScope string, enumDepth, enumPar int) error {
 	fmt.Fprintf(out, "writing %s (sweep %v, groups %v, procs %v, seed %d, measure %v)\n",
 		path, ns, groups, procs, seed, d.Measure)
 	recs := bench.Figure2Records(out, ns, seed, d)
@@ -147,6 +157,7 @@ func writeJSON(path string, ns, groups, procs []int, seed int64, d bench.Duratio
 	recs = append(recs, bench.ObservabilityRecords(out, seed, d)...)
 	recs = append(recs, bench.RTThroughputRecords(out, procs, 3*time.Second, seed)...)
 	recs = append(recs, bench.RTAddrKeyRecords(out)...)
+	recs = append(recs, bench.EnumThroughputRecords(out, enumScope, enumDepth, enumPar)...)
 	fmt.Fprintln(out, "  codec microbenchmarks...")
 	for _, s := range vsync.CodecBenchStats() {
 		parts := strings.SplitN(s.Name, "-", 2) // "encode-wire" -> op, codec

@@ -18,6 +18,9 @@ type enumOpts struct {
 	traceOut   string
 	noShrink   bool
 	verbose    bool
+	par        int
+	por        bool
+	probeMemo  bool
 }
 
 // runEnumerate is the -enumerate mode: sweep the scope's state graph,
@@ -29,10 +32,13 @@ func runEnumerate(out io.Writer, o enumOpts) error {
 	}
 	reg := metrics.NewRegistry()
 	cfg := explore.EnumConfig{
-		Scope:   sc,
-		Depth:   o.depth,
-		Budget:  o.budget,
-		Metrics: reg,
+		Scope:     sc,
+		Depth:     o.depth,
+		Budget:    o.budget,
+		Par:       o.par,
+		POR:       o.por,
+		ProbeMemo: o.probeMemo,
+		Metrics:   reg,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(out, format+"\n", args...)
 		},
@@ -48,6 +54,14 @@ func runEnumerate(out io.Writer, o enumOpts) error {
 			if cp.Scope.String() != sc.String() || cp.Depth != o.depth {
 				return fmt.Errorf("checkpoint %s is for scope %s depth %d, not %s depth %d",
 					o.checkpoint, cp.Scope, cp.Depth, sc, o.depth)
+			}
+			// The pruning layers decide which states ever enter the visited
+			// and memo sets, so they are part of the sweep's identity: a
+			// checkpoint taken with different flags describes a different
+			// (but equally sound) sweep and cannot be continued under these.
+			if cp.POR != o.por || cp.ProbeMemo != o.probeMemo {
+				return fmt.Errorf("checkpoint %s was taken with -por=%v -probe-memo=%v; rerun with those flags or delete it",
+					o.checkpoint, cp.POR, cp.ProbeMemo)
 			}
 			cfg.Resume = cp
 			fmt.Fprintf(out, "resuming from %s: %d states visited, frontier %d\n",

@@ -24,6 +24,12 @@
 //
 //	lwgcheck -enumerate -scope n3g2 -depth 12
 //	lwgcheck -enumerate -scope n4g2c1 -budget 2000 -checkpoint sweep.ckpt
+//	lwgcheck -enumerate -scope n3g2 -depth 8 -par 8 -por=false -probe-memo=false
+//
+// The sweep runs -par expansion workers (default GOMAXPROCS) with
+// partial-order reduction and probe memoisation on; results are
+// identical at every -par value, and -por=false -probe-memo=false
+// reproduces the original exhaustive sweep exactly (see DESIGN §7).
 //
 // On failure the reproducer is printed in the replayable schedule format
 // and the exit status is 1.
@@ -69,17 +75,28 @@ func run(args []string, out io.Writer) error {
 	rtMode := fs.Bool("rtnet", false, "run schedules over real UDP (loopback cluster) instead of the simulator")
 	faults := fs.String("faults", defaultRTFaults, "fault spec for -rtnet (see rtnet.ParseFaultSpec)")
 	rtScale := fs.Float64("rtscale", 0.1, "virtual-to-real time scale for -rtnet op delays")
-	par := fs.Int("par", max(1, runtime.NumCPU()/2), "concurrent schedules for the -rtnet sweep")
+	par := fs.Int("par", max(1, runtime.NumCPU()/2), "concurrent schedules for -rtnet; expansion workers for -enumerate (default GOMAXPROCS there)")
 	traceOut := fs.String("trace", "", "export one run's trace events to this file (.json = Chrome trace, otherwise JSONL) and explain the stitched protocol operations; a sweep exports its first failing run, or the last seed when all pass")
 	enum := fs.Bool("enumerate", false, "bounded model checking: enumerate every schedule of a small scope instead of sweeping random seeds")
 	scope := fs.String("scope", "n3g2", "enumeration scope, n<nodes>g<groups>[c<crashes>]")
 	depth := fs.Int("depth", 12, "enumeration op-prefix depth bound")
 	budget := fs.Int("budget", 0, "enumeration run budget per invocation (0 = run until the scope is swept)")
 	checkpoint := fs.String("checkpoint", "", "enumeration checkpoint file: resumed when present, written when the budget stops the sweep early")
+	por := fs.Bool("por", true, "enumeration: partial-order reduction (sleep sets); -por=false sweeps the unreduced graph")
+	probeMemo := fs.Bool("probe-memo", true, "enumeration: probe-trajectory memoisation; -probe-memo=false runs every liveness probe concretely")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *enum {
+		// -par doubles as the expansion worker count, but its rtnet-sized
+		// default is wrong here: enumeration workers are CPU bound, so an
+		// unset flag means one worker per available CPU.
+		enumPar := runtime.GOMAXPROCS(0)
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "par" {
+				enumPar = *par
+			}
+		})
 		return runEnumerate(out, enumOpts{
 			scope:      *scope,
 			depth:      *depth,
@@ -88,6 +105,9 @@ func run(args []string, out io.Writer) error {
 			traceOut:   *traceOut,
 			noShrink:   *noShrink,
 			verbose:    *verbose,
+			par:        enumPar,
+			por:        *por,
+			probeMemo:  *probeMemo,
 		})
 	}
 	// Real-network runs are wall-clock bound, so the sweep defaults shrink

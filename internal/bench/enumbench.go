@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"plwg/internal/explore"
+	"plwg/internal/metrics"
+)
+
+// Enumeration-throughput benchmark: how fast does lwgcheck -enumerate
+// move through a scope's state graph, and how much of that speed comes
+// from each optimisation layer?
+//
+// The experiment sweeps one fixed scope twice:
+//
+//   - baseline: the original exhaustive sweep — serial, no partial-order
+//     reduction, every liveness probe run concretely.
+//   - fast: the full engine — worker-pool expansion, sleep-set POR and
+//     probe-trajectory memoisation with settle-suffix riding.
+//
+// Both modes sweep the same scope to the same depth with the production
+// quiescence window, so states_per_sec is comparable and speedup_x is
+// the end-to-end per-core gain a sweep actually sees. memo_hit_rate and
+// por_runs_reduction_x attribute the gain to its two algorithmic layers.
+// Findings and the swept verdict are also cross-checked: the fast mode
+// must reach the same verdict as the baseline or the records are not
+// emitted.
+
+// EnumThroughputResult is one mode's measurement.
+type EnumThroughputResult struct {
+	Mode     string
+	Scope    string
+	Depth    int
+	Elapsed  time.Duration
+	Stats    explore.EnumStats
+	Swept    bool
+	Findings int
+	// MemoHits and RideHits are zero in baseline mode.
+	MemoHits int64
+	RideHits int64
+	PORCut   int64
+}
+
+// StatesPerSec is the sweep rate: distinct states visited per second.
+func (r EnumThroughputResult) StatesPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Stats.Visited) / r.Elapsed.Seconds()
+}
+
+// RunEnumThroughput sweeps the scope once in the given mode.
+func RunEnumThroughput(scope string, depth, par int, fast bool) (EnumThroughputResult, error) {
+	sc, err := explore.ParseScope(scope)
+	if err != nil {
+		return EnumThroughputResult{}, err
+	}
+	reg := metrics.NewRegistry()
+	cfg := explore.EnumConfig{
+		Scope:     sc,
+		Depth:     depth,
+		Par:       par,
+		POR:       fast,
+		ProbeMemo: fast,
+		Metrics:   reg,
+	}
+	start := time.Now()
+	res := explore.Enumerate(cfg)
+	mode := "baseline"
+	if fast {
+		mode = "fast"
+	}
+	return EnumThroughputResult{
+		Mode:     mode,
+		Scope:    scope,
+		Depth:    depth,
+		Elapsed:  time.Since(start),
+		Stats:    res.Stats,
+		Swept:    res.Swept,
+		Findings: len(res.Findings),
+		MemoHits: reg.Counter("enum_memo_hits_total").Value(),
+		RideHits: reg.Counter("enum_ride_hits_total").Value(),
+		PORCut:   reg.Counter("enum_por_skipped_total").Value(),
+	}, nil
+}
+
+// EnumThroughputRecords runs the two-mode comparison and returns the
+// BENCH_plwg.json records. par is the fast mode's worker count (the
+// baseline is always serial — it is the pre-optimisation engine).
+func EnumThroughputRecords(w io.Writer, scope string, depth, par int) []Record {
+	fmt.Fprintf(w, "  enum-throughput %s depth=%d (baseline)...\n", scope, depth)
+	base, err := RunEnumThroughput(scope, depth, 1, false)
+	if err != nil {
+		fmt.Fprintf(w, "  enum-throughput: %v\n", err)
+		return nil
+	}
+	fmt.Fprintf(w, "  enum-throughput %s depth=%d (fast, par=%d)...\n", scope, depth, par)
+	fast, err := RunEnumThroughput(scope, depth, par, true)
+	if err != nil {
+		fmt.Fprintf(w, "  enum-throughput: %v\n", err)
+		return nil
+	}
+	if base.Swept != fast.Swept || base.Findings != fast.Findings {
+		fmt.Fprintf(w, "  enum-throughput: verdict mismatch (baseline swept=%v findings=%d, fast swept=%v findings=%d) — records withheld\n",
+			base.Swept, base.Findings, fast.Swept, fast.Findings)
+		return nil
+	}
+	// Liveness probes only run on newly visited states, so hits/visited
+	// is the fraction of probes the memo short-circuited.
+	memoRate := 0.0
+	if fast.Stats.Visited > 0 {
+		memoRate = float64(fast.MemoHits) / float64(fast.Stats.Visited)
+	}
+	porReduction := 0.0
+	if fast.Stats.Runs > 0 {
+		porReduction = float64(base.Stats.Runs) / float64(fast.Stats.Runs)
+	}
+	speedup := 0.0
+	if base.StatesPerSec() > 0 {
+		speedup = fast.StatesPerSec() / base.StatesPerSec()
+	}
+	fmt.Fprintf(w, "  enum-throughput: baseline %.1f states/s (%v), fast %.1f states/s (%v), speedup %.2fx\n",
+		base.StatesPerSec(), base.Elapsed.Round(time.Millisecond),
+		fast.StatesPerSec(), fast.Elapsed.Round(time.Millisecond), speedup)
+	return []Record{
+		{Experiment: "enum-throughput", Mode: "baseline", N: depth, Metric: "states_per_sec", Value: base.StatesPerSec()},
+		{Experiment: "enum-throughput", Mode: "baseline", N: depth, Metric: "runs", Value: float64(base.Stats.Runs)},
+		{Experiment: "enum-throughput", Mode: "baseline", N: depth, Metric: "states_visited", Value: float64(base.Stats.Visited)},
+		{Experiment: "enum-throughput", Mode: "fast", N: depth, Metric: "states_per_sec", Value: fast.StatesPerSec()},
+		{Experiment: "enum-throughput", Mode: "fast", N: depth, Metric: "runs", Value: float64(fast.Stats.Runs)},
+		{Experiment: "enum-throughput", Mode: "fast", N: depth, Metric: "states_visited", Value: float64(fast.Stats.Visited)},
+		{Experiment: "enum-throughput", Mode: "fast", N: depth, Metric: "speedup_x", Value: speedup},
+		{Experiment: "enum-throughput", Mode: "fast", N: depth, Metric: "memo_hit_rate", Value: memoRate},
+		{Experiment: "enum-throughput", Mode: "fast", N: depth, Metric: "runs_reduction_x", Value: porReduction},
+	}
+}
+
+// EnumThroughput prints the comparison as a table (the -experiment
+// enum-throughput mode).
+func EnumThroughput(w io.Writer, scope string, depth, par int) {
+	fmt.Fprintf(w, "== enum-throughput: bounded model checking, scope %s depth %d ==\n", scope, depth)
+	fmt.Fprintf(w, "%-10s %10s %12s %10s %10s %10s\n",
+		"mode", "runs", "states/s", "memo", "rides", "por-cut")
+	for _, fast := range []bool{false, true} {
+		p := 1
+		if fast {
+			p = par
+		}
+		r, err := RunEnumThroughput(scope, depth, p, fast)
+		if err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+			return
+		}
+		fmt.Fprintf(w, "%-10s %10d %12.1f %10d %10d %10d\n",
+			r.Mode, r.Stats.Runs, r.StatesPerSec(), r.MemoHits, r.RideHits, r.PORCut)
+	}
+}

@@ -1,10 +1,8 @@
 package explore
 
 import (
-	"fmt"
-	"hash/fnv"
 	"sort"
-	"strings"
+	"strconv"
 
 	"plwg/internal/ids"
 )
@@ -34,102 +32,160 @@ import (
 // the representative's, so coverage is of the abstracted state graph, not
 // the concrete one. Soundness of findings is unaffected — every reported
 // wedge or violation comes with a concrete schedule that replays it.
+//
+// The rendering is built with manual byte appends into a buffer reused
+// across calls: the probe-trajectory memoisation (engine.go) digests every
+// settle-chunk boundary of every liveness probe, so this function runs an
+// order of magnitude more often than it did when it fingerprinted one
+// state per run. The byte layout is frozen — digests are persisted in
+// checkpoints, and changing a single byte of the rendering would silently
+// invalidate every in-flight sweep (digestReference in the tests pins it).
 
-// canon renames raw identifiers to first-appearance indices.
+// canon renames raw identifiers to first-appearance indices. The slices
+// are reused across digest calls; linear scans beat maps at the handful of
+// identifiers a small-scope world holds.
 type canon struct {
-	views map[ids.ViewID]int
-	hwgs  map[ids.HWGID]int
+	views []ids.ViewID
+	hwgs  []ids.HWGID
 }
 
-func newCanon() *canon {
-	return &canon{views: make(map[ids.ViewID]int), hwgs: make(map[ids.HWGID]int)}
+func (c *canon) reset() {
+	c.views = c.views[:0]
+	c.hwgs = c.hwgs[:0]
 }
 
-func (c *canon) view(v ids.ViewID) string {
+// appendView appends the canonical view token ("-" for the zero view,
+// "v<idx>" otherwise).
+func (c *canon) appendView(b []byte, v ids.ViewID) []byte {
 	if v.IsZero() {
-		return "-"
+		return append(b, '-')
 	}
-	i, ok := c.views[v]
-	if !ok {
-		i = len(c.views)
-		c.views[v] = i
+	for i, x := range c.views {
+		if x == v {
+			return strconv.AppendInt(append(b, 'v'), int64(i), 10)
+		}
 	}
-	return fmt.Sprintf("v%d", i)
+	c.views = append(c.views, v)
+	return strconv.AppendInt(append(b, 'v'), int64(len(c.views)-1), 10)
 }
 
-func (c *canon) hwg(h ids.HWGID) string {
+// appendHWG appends the canonical HWG token ("-" for NoHWG, "h<idx>"
+// otherwise).
+func (c *canon) appendHWG(b []byte, h ids.HWGID) []byte {
 	if h == ids.NoHWG {
-		return "-"
+		return append(b, '-')
 	}
-	i, ok := c.hwgs[h]
-	if !ok {
-		i = len(c.hwgs)
-		c.hwgs[h] = i
+	for i, x := range c.hwgs {
+		if x == h {
+			return strconv.AppendInt(append(b, 'h'), int64(i), 10)
+		}
 	}
-	return fmt.Sprintf("h%d", i)
+	c.hwgs = append(c.hwgs, h)
+	return strconv.AppendInt(append(b, 'h'), int64(len(c.hwgs)-1), 10)
+}
+
+// appendMembers appends the fmt rendering of a member set: "{p0,p1}".
+func appendMembers(b []byte, ms ids.Members) []byte {
+	b = append(b, '{')
+	for i, p := range ms {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(append(b, 'p'), int64(p), 10)
+	}
+	return append(b, '}')
 }
 
 // digest fingerprints the world's protocol-visible state.
 func (w *world) digest() uint64 {
-	c := newCanon()
-	var b strings.Builder
+	c := &w.dcanon
+	c.reset()
+	b := w.dbuf[:0]
 
-	lwgs := append([]ids.LWGID(nil), w.sched.LWGs...)
-	sort.Slice(lwgs, func(i, j int) bool { return lwgs[i] < lwgs[j] })
-
-	fmt.Fprintf(&b, "cut=%d\n", w.cut)
+	b = append(b, "cut="...)
+	b = strconv.AppendInt(b, int64(w.cut), 10)
+	b = append(b, '\n')
 	for i := 0; i < w.sched.Nodes; i++ {
 		pid := ids.ProcessID(i)
 		ep := w.eps[pid]
-		fmt.Fprintf(&b, "p%d crashed=%v\n", i, w.crashed[pid])
+		b = strconv.AppendInt(append(b, 'p'), int64(i), 10)
 		if w.crashed[pid] {
+			b = append(b, " crashed=true\n"...)
 			continue // a crashed process's state is unreachable forever
 		}
-		for _, l := range lwgs {
+		b = append(b, " crashed=false\n"...)
+		for _, l := range w.lwgList {
 			phase := ep.LWGPhase(l)
 			if phase == "" {
 				continue
 			}
-			fmt.Fprintf(&b, " lwg %s %s", l, phase)
+			b = append(b, " lwg "...)
+			b = append(b, l...)
+			b = append(b, ' ')
+			b = append(b, phase...)
 			if v, ok := ep.LWGView(l); ok {
-				fmt.Fprintf(&b, " %s%v", c.view(v.ID), v.Members)
+				b = append(b, ' ')
+				b = c.appendView(b, v.ID)
+				b = appendMembers(b, v.Members)
 			}
 			if h, ok := ep.Mapping(l); ok {
-				fmt.Fprintf(&b, " on %s", c.hwg(h))
+				b = append(b, " on "...)
+				b = c.appendHWG(b, h)
 			}
 			// The backlog count is bucketed: the exact depth encodes run
 			// history (every send grows it), and an unbounded counter in
 			// the digest would make the state graph infinite.
 			if n := ep.PreInstallBuffered(l); n > 2 {
-				b.WriteString(" buf=2+")
+				b = append(b, " buf=2+"...)
 			} else if n > 0 {
-				fmt.Fprintf(&b, " buf=%d", n)
+				b = append(b, " buf="...)
+				b = strconv.AppendInt(b, int64(n), 10)
 			}
-			b.WriteByte('\n')
+			b = append(b, '\n')
 		}
 		stack := ep.HWGStack()
 		for _, g := range stack.Groups() {
+			b = append(b, " hwg "...)
+			b = c.appendHWG(b, g)
 			v, ok := stack.CurrentView(g)
 			if !ok {
-				fmt.Fprintf(&b, " hwg %s joining\n", c.hwg(g))
+				b = append(b, " joining\n"...)
 				continue
 			}
-			fmt.Fprintf(&b, " hwg %s %s%v\n", c.hwg(g), c.view(v.ID), v.Members)
+			b = append(b, ' ')
+			b = c.appendView(b, v.ID)
+			b = appendMembers(b, v.Members)
+			b = append(b, '\n')
 		}
 	}
-	for _, srv := range sortedServerPids(w.servers) {
+	for _, srv := range w.serverList {
 		db := w.servers[srv].DB()
-		fmt.Fprintf(&b, "ns p%v\n", srv)
+		// The doubled p is a historical quirk ("ns p" + the p<N> String of
+		// the id); it is frozen into persisted digests.
+		b = append(b, "ns p"...)
+		b = strconv.AppendInt(append(b, 'p'), int64(srv), 10)
+		b = append(b, '\n')
 		for _, l := range db.LWGs() {
 			for _, e := range db.Live(l) {
-				fmt.Fprintf(&b, " map %s %s -> %s\n", l, c.view(e.View), c.hwg(e.HWG))
+				b = append(b, " map "...)
+				b = append(b, l...)
+				b = append(b, ' ')
+				b = c.appendView(b, e.View)
+				b = append(b, " -> "...)
+				b = c.appendHWG(b, e.HWG)
+				b = append(b, '\n')
 			}
 		}
 	}
 
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(b.String()))
-	return h.Sum64()
+	w.dbuf = b
+	// Inlined FNV-64a over the buffer (hash/fnv would allocate the state).
+	h := uint64(14695981039346656037)
+	for _, x := range b {
+		h ^= uint64(x)
+		h *= 1099511628211
+	}
+	return h
 }
 
 func sortedServerPids[V any](m map[ids.ProcessID]V) []ids.ProcessID {

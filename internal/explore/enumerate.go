@@ -1,11 +1,9 @@
 package explore
 
 import (
-	"bufio"
 	"fmt"
-	"sort"
+	"runtime"
 	"strconv"
-	"strings"
 	"time"
 
 	"plwg/internal/ids"
@@ -27,6 +25,15 @@ import (
 // last op). A probe failure is a wedge — a reachable state from which the
 // protocol cannot reconverge — and is reported as a Finding whose schedule
 // replays under Run/Shrink/lwgcheck -replay unchanged.
+//
+// The sweep itself runs on the speculative worker-pool engine in
+// engine.go: Par workers expand frontier entries concurrently while a
+// single coordinator consumes their results in strict frontier order, so
+// the stats, findings, swept verdict and checkpoint are identical at
+// every parallelism level. POR and ProbeMemo enable the two pruning
+// layers (partial-order reduction, por.go; probe-trajectory memoisation
+// with settle-suffix riding, engine.go); both default off here so the
+// zero config reproduces the original exhaustive sweep bit for bit.
 
 // Scope bounds the small world the enumerator sweeps. The text form is
 // "n<nodes>g<groups>[c<crashes>]", e.g. "n3g2" or "n4g2c1".
@@ -147,8 +154,18 @@ type EnumConfig struct {
 	// a real wedge tends to recur in every successor state, and the
 	// findings get shrunk anyway.
 	MaxFindings int
+	// Par is the expansion worker count (default 1 = serial). Results are
+	// identical at every value; higher values only change wall time.
+	Par int
+	// POR enables partial-order reduction of commutative successor
+	// orderings (por.go).
+	POR bool
+	// ProbeMemo enables probe-trajectory memoisation and settle-suffix
+	// riding (engine.go).
+	ProbeMemo bool
 	// Resume continues a checkpointed sweep instead of starting at the
-	// empty prefix.
+	// empty prefix. The checkpoint's POR/ProbeMemo flags are part of the
+	// sweep's identity and must match this config's.
 	Resume *Checkpoint
 	// Metrics, when set, receives progress counters (enum_*).
 	Metrics *metrics.Registry
@@ -162,6 +179,9 @@ func (c EnumConfig) withDefaults() EnumConfig {
 	}
 	if c.MaxFindings <= 0 {
 		c.MaxFindings = 8
+	}
+	if c.Par <= 0 {
+		c.Par = 1
 	}
 	if c.Scope.OpDelay <= 0 {
 		c.Scope.OpDelay = 50 * time.Millisecond
@@ -207,119 +227,49 @@ type EnumResult struct {
 }
 
 // Enumerate sweeps the scope. It is deterministic: the same config (and
-// resume state) always produces the same stats and findings.
+// resume state) always produces the same stats and findings, at every
+// worker count.
 func Enumerate(cfg EnumConfig) EnumResult {
 	cfg = cfg.withDefaults()
-	sc := cfg.Scope
-
-	runs := cfg.Metrics.Counter("enum_runs_total")
-	states := cfg.Metrics.Counter("enum_states_total")
-	pruned := cfg.Metrics.Counter("enum_pruned_total")
-	found := cfg.Metrics.Counter("enum_findings_total")
-	frontierGauge := cfg.Metrics.Gauge("enum_frontier")
-	logf := cfg.Log
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
-
-	visited := make(map[uint64]bool)
-	var frontier [][]Op
-	res := EnumResult{}
-	if cfg.Resume != nil {
-		for _, d := range cfg.Resume.Visited {
-			visited[d] = true
-		}
-		frontier = append(frontier, cfg.Resume.Frontier...)
-		res.Stats = cfg.Resume.Stats
+	e := newEngine(cfg)
+	// The worker pool only changes execution strategy, never results, so
+	// on a single-CPU box it is pure overhead (speculative expansions that
+	// the coordinator invalidates have no parallel payback). Fall back to
+	// the serial loop there; the determinism tests exercise the pool at
+	// -par 8 regardless.
+	if cfg.Par > 1 && runtime.GOMAXPROCS(0) > 1 {
+		e.runParallel(cfg.Par)
 	} else {
-		frontier = [][]Op{nil} // the root: no ops applied
+		e.runSerial()
 	}
-
-	sliceRuns := 0 // Budget bounds this slice's work, not the cumulative
-	// stats restored from a checkpoint — otherwise every resumed slice
-	// would hit the budget instantly and never advance the frontier.
-	for len(frontier) > 0 {
-		if cfg.Budget > 0 && sliceRuns >= cfg.Budget {
-			break
+	e.setRate()
+	remaining := len(e.queue) - e.nextConsume
+	e.mFrontier.Set(int64(remaining))
+	e.res.Swept = remaining == 0 && len(e.res.Findings) < cfg.MaxFindings
+	if !e.res.Swept {
+		cp := &Checkpoint{
+			Scope:     cfg.Scope,
+			Depth:     cfg.Depth,
+			POR:       cfg.POR,
+			ProbeMemo: cfg.ProbeMemo,
+			Visited:   e.visited.Sorted(),
+			Stats:     e.res.Stats,
 		}
-		if len(res.Findings) >= cfg.MaxFindings {
-			break
+		if cfg.ProbeMemo {
+			cp.Memo = e.memo.Sorted()
 		}
-		prefix := frontier[0]
-		frontier = frontier[1:]
-		frontierGauge.Set(int64(len(frontier)))
-
-		s := sc.schedule(prefix)
-		w := newWorld(s)
-		for _, op := range s.Ops {
-			w.advance(op.Delay)
-			if !w.completed {
-				break
-			}
-			w.apply(op)
+		anySleep := false
+		for _, n := range e.queue[e.nextConsume:] {
+			cp.Frontier = append(cp.Frontier, n.ops())
+			cp.Sleep = append(cp.Sleep, n.sleep)
+			anySleep = anySleep || len(n.sleep) > 0
 		}
-		res.Stats.Runs++
-		sliceRuns++
-		runs.Inc()
-		if len(prefix) > res.Stats.Deepest {
-			res.Stats.Deepest = len(prefix)
+		if !anySleep {
+			cp.Sleep = nil
 		}
-		if !w.completed {
-			// The prefix itself livelocked — a wedge before the probe.
-			res.Findings = append(res.Findings, Finding{Schedule: s, Result: w.finish()})
-			found.Inc()
-			logf("wedge (livelock) at depth %d after %d runs", len(prefix), res.Stats.Runs)
-			continue
-		}
-
-		d := w.digest()
-		if visited[d] {
-			res.Stats.Pruned++
-			pruned.Inc()
-			continue
-		}
-		visited[d] = true
-		res.Stats.Visited++
-		states.Inc()
-		if res.Stats.Visited%500 == 0 {
-			logf("visited %d states, %d pruned, frontier %d, depth %d",
-				res.Stats.Visited, res.Stats.Pruned, len(frontier), len(prefix))
-		}
-
-		// Successors from the intent state (before the probe consumes the
-		// world). A wedged state's successors are not expanded: the wedge
-		// recurs below it and the finding already carries the schedule.
-		succ := w.enabledOps(sc)
-		probe := w.finish()
-		if probe.Failed() {
-			res.Findings = append(res.Findings, Finding{Schedule: s, Result: probe})
-			found.Inc()
-			logf("wedge at depth %d: %d violations, completed=%v",
-				len(prefix), len(probe.Violations), probe.Completed)
-			continue
-		}
-		if len(prefix) >= cfg.Depth {
-			continue
-		}
-		for _, op := range succ {
-			next := make([]Op, len(prefix), len(prefix)+1)
-			copy(next, prefix)
-			frontier = append(frontier, append(next, op))
-		}
+		e.res.Checkpoint = cp
 	}
-
-	res.Swept = len(frontier) == 0 && len(res.Findings) < cfg.MaxFindings
-	frontierGauge.Set(int64(len(frontier)))
-	if !res.Swept {
-		res.Checkpoint = &Checkpoint{
-			Scope:    sc,
-			Depth:    cfg.Depth,
-			Visited:  sortedDigests(visited),
-			Frontier: frontier,
-			Stats:    res.Stats,
-		}
-	}
-	return res
+	return e.res
 }
 
 // enabledOps lists the operations applicable in the world's current
@@ -328,14 +278,12 @@ func Enumerate(cfg EnumConfig) EnumResult {
 // apply() exactly, so no enumerated op degrades to a no-op.
 func (w *world) enabledOps(sc Scope) []Op {
 	var out []Op
-	lwgs := append([]ids.LWGID(nil), w.sched.LWGs...)
-	sort.Slice(lwgs, func(i, j int) bool { return lwgs[i] < lwgs[j] })
 	for i := 0; i < sc.Nodes; i++ {
 		p := ids.ProcessID(i)
 		if w.crashed[p] {
 			continue
 		}
-		for _, l := range lwgs {
+		for _, l := range w.lwgList {
 			if !w.memberOf[l][p] {
 				out = append(out, Op{Kind: OpJoin, P: p, LWG: l})
 			} else {
@@ -368,174 +316,4 @@ func (w *world) enabledOps(sc Scope) []Op {
 	// onto the same digest.
 	out = append(out, Op{Delay: sc.Settle, Kind: OpWait})
 	return out
-}
-
-func sortedDigests(m map[uint64]bool) []uint64 {
-	out := make([]uint64, 0, len(m))
-	for d := range m {
-		out = append(out, d)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// --- checkpointing -----------------------------------------------------------
-
-// Checkpoint is a resumable sweep: the visited-state set plus the
-// unexplored frontier. It lets CI split one scope across bounded slices
-// (run with -budget, save, resume) without re-walking visited states.
-type Checkpoint struct {
-	Scope    Scope
-	Depth    int
-	Visited  []uint64
-	Frontier [][]Op
-	Stats    EnumStats
-}
-
-// EncodeCheckpoint renders the checkpoint in the text format read by
-// ParseCheckpoint.
-func EncodeCheckpoint(cp *Checkpoint) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "enumcheckpoint v1\n")
-	fmt.Fprintf(&b, "scope %s\n", cp.Scope)
-	// Timing is part of scope identity: resuming with different delays
-	// would explore a different schedule space against the same visited
-	// set, silently corrupting the sweep.
-	fmt.Fprintf(&b, "timing %s %s %s\n", cp.Scope.OpDelay, cp.Scope.Settle, cp.Scope.Quiesce)
-	fmt.Fprintf(&b, "depth %d\n", cp.Depth)
-	fmt.Fprintf(&b, "stats %d %d %d %d\n",
-		cp.Stats.Visited, cp.Stats.Pruned, cp.Stats.Runs, cp.Stats.Deepest)
-	for i := 0; i < len(cp.Visited); i += 64 {
-		end := i + 64
-		if end > len(cp.Visited) {
-			end = len(cp.Visited)
-		}
-		b.WriteString("visited")
-		for _, d := range cp.Visited[i:end] {
-			fmt.Fprintf(&b, " %x", d)
-		}
-		b.WriteByte('\n')
-	}
-	for _, ops := range cp.Frontier {
-		b.WriteString("frontier")
-		for i, op := range ops {
-			if i == 0 {
-				b.WriteByte(' ')
-			} else {
-				b.WriteByte(';')
-			}
-			b.WriteString(op.String())
-		}
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
-
-// ParseCheckpoint reads the EncodeCheckpoint format.
-func ParseCheckpoint(text string) (*Checkpoint, error) {
-	cp := &Checkpoint{}
-	sc := bufio.NewScanner(strings.NewReader(text))
-	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
-	line := 0
-	sawHeader := false
-	fail := func(msg string) (*Checkpoint, error) {
-		return nil, fmt.Errorf("checkpoint line %d: %s", line, msg)
-	}
-	for sc.Scan() {
-		line++
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
-			continue
-		}
-		if !sawHeader {
-			if len(fields) != 2 || fields[0] != "enumcheckpoint" || fields[1] != "v1" {
-				return fail(`expected header "enumcheckpoint v1"`)
-			}
-			sawHeader = true
-			continue
-		}
-		switch fields[0] {
-		case "scope":
-			if len(fields) != 2 {
-				return fail("scope wants one value")
-			}
-			s, err := ParseScope(fields[1])
-			if err != nil {
-				return fail(err.Error())
-			}
-			cp.Scope = s
-		case "timing":
-			if len(fields) != 4 {
-				return fail("timing wants <opdelay> <settle> <quiesce>")
-			}
-			ds := make([]time.Duration, 3)
-			for i, f := range fields[1:] {
-				d, err := time.ParseDuration(f)
-				if err != nil {
-					return fail(err.Error())
-				}
-				ds[i] = d
-			}
-			cp.Scope.OpDelay, cp.Scope.Settle, cp.Scope.Quiesce = ds[0], ds[1], ds[2]
-		case "depth":
-			if len(fields) != 2 {
-				return fail("depth wants one value")
-			}
-			n, err := strconv.Atoi(fields[1])
-			if err != nil {
-				return fail(err.Error())
-			}
-			cp.Depth = n
-		case "stats":
-			if len(fields) != 5 {
-				return fail("stats wants <visited> <pruned> <runs> <deepest>")
-			}
-			vals := make([]int, 4)
-			for i, f := range fields[1:] {
-				n, err := strconv.Atoi(f)
-				if err != nil {
-					return fail(err.Error())
-				}
-				vals[i] = n
-			}
-			cp.Stats = EnumStats{Visited: vals[0], Pruned: vals[1], Runs: vals[2], Deepest: vals[3]}
-		case "visited":
-			for _, f := range fields[1:] {
-				d, err := strconv.ParseUint(f, 16, 64)
-				if err != nil {
-					return fail(err.Error())
-				}
-				cp.Visited = append(cp.Visited, d)
-			}
-		case "frontier":
-			var ops []Op
-			rest := strings.TrimSpace(strings.TrimPrefix(sc.Text(), "frontier"))
-			if rest != "" {
-				for _, opText := range strings.Split(rest, ";") {
-					f := strings.Fields(opText)
-					if len(f) == 0 || f[0] != "op" {
-						return fail("frontier op must start with \"op\"")
-					}
-					op, err := parseOp(f[1:])
-					if err != nil {
-						return fail(err.Error())
-					}
-					ops = append(ops, op)
-				}
-			}
-			cp.Frontier = append(cp.Frontier, ops)
-		default:
-			return fail("unknown directive " + strconv.Quote(fields[0]))
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if !sawHeader {
-		return nil, fmt.Errorf("checkpoint: empty input")
-	}
-	if cp.Scope.Nodes == 0 {
-		return nil, fmt.Errorf("checkpoint: scope not set")
-	}
-	return cp, nil
 }

@@ -1,0 +1,77 @@
+package explore
+
+// Partial-order reduction for the bounded enumerator: sleep sets over a
+// syntactic independence relation.
+//
+// Two operations are independent when neither can observe the other at
+// the intent level: both are single-process, single-group actions (join,
+// leave, send) on different processes AND different light-weight groups.
+// Everything else — partition, heal, crash, policy, wait — touches global
+// state or global time and is dependent on every other op.
+//
+// The reduction is the classic sleep-set algorithm specialised to the
+// BFS frontier: when a state s expands its successors e1..ek in canonical
+// order, the child reached by ei inherits a sleep set holding every
+// earlier-explored sibling ej (j < i) independent of ei, plus the
+// entries of s's own sleep set still independent of ei. An enabled op
+// found in the expanding state's sleep set is not explored at all: every
+// interleaving it would lead to is a commuted reordering of one already
+// reachable through the sibling subtree that put it to sleep. Taking any
+// dependent op (all the global ones) empties the sleep set, so an entry
+// only survives along paths made of ops it commutes with — which is
+// exactly the window where the reordering argument holds.
+//
+// Independence here is judged at the digest abstraction the enumerator
+// works at, and it is approximate: the two orderings of an independent
+// pair place the ops at different virtual times (+OpDelay vs +2×OpDelay),
+// so their transient states can digest differently even though the
+// settled states coincide. That makes POR a coverage heuristic of
+// exactly the same character as the bitstate digest pruning (digest.go) —
+// the swept graph is the abstracted one — while findings stay sound:
+// every reported wedge still carries a concrete schedule that replays
+// it. The por-on/por-off equivalence sweeps in the tests check that the
+// reduction changes neither the findings nor the swept verdict on the
+// scopes they cover, and -por=false disables it for exact sweeps.
+//
+// Sleep sets are part of a sweep's identity: a checkpoint records each
+// frontier entry's sleep set (checkpoint.go), and the POR flag must
+// match at resume.
+
+// porLocal reports whether the op kind is a single-process, single-group
+// action.
+func porLocal(kind string) bool {
+	return kind == OpJoin || kind == OpLeave || kind == OpSend
+}
+
+// porIndep reports whether the two ops commute at the intent level.
+func porIndep(a, b Op) bool {
+	return porLocal(a.Kind) && porLocal(b.Kind) && a.P != b.P && a.LWG != b.LWG
+}
+
+// porSleeps reports whether op is covered by the sleep set.
+func porSleeps(sleep []Op, op Op) bool {
+	for _, e := range sleep {
+		if e == op {
+			return true
+		}
+	}
+	return false
+}
+
+// porChildSleep builds the sleep set for the child reached by taken:
+// surviving entries of the parent's sleep set plus the earlier-explored
+// siblings, each kept only while independent of the op taken.
+func porChildSleep(sleep, explored []Op, taken Op) []Op {
+	var out []Op
+	for _, e := range sleep {
+		if porIndep(e, taken) {
+			out = append(out, e)
+		}
+	}
+	for _, e := range explored {
+		if porIndep(e, taken) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

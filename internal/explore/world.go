@@ -2,6 +2,7 @@ package explore
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"plwg/internal/check"
@@ -40,6 +41,15 @@ type world struct {
 
 	msgID     int
 	completed bool
+
+	// lwgList and serverList are the deterministic scan orders (groups
+	// sorted, servers ascending) cached at construction; digest and
+	// enabledOps walk them on every call.
+	lwgList    []ids.LWGID
+	serverList []ids.ProcessID
+	// dbuf and dcanon are digest scratch state, reused across calls.
+	dbuf   []byte
+	dcanon canon
 }
 
 // newWorld builds the stack for the schedule's scope (nodes, groups,
@@ -96,6 +106,9 @@ func newWorld(s Schedule) *world {
 	for _, l := range s.LWGs {
 		w.memberOf[l] = make(map[ids.ProcessID]bool)
 	}
+	w.lwgList = append([]ids.LWGID(nil), s.LWGs...)
+	sort.Slice(w.lwgList, func(i, j int) bool { return w.lwgList[i] < w.lwgList[j] })
+	w.serverList = sortedServerPids(w.servers)
 	return w
 }
 
@@ -202,18 +215,35 @@ func (w *world) checkWorld() *check.World {
 	}
 }
 
-// finish heals every partition, lets reconciliation converge for the
-// schedule's quiescence window, and runs every safety check. The world
-// must not be used afterwards.
-func (w *world) finish() Result {
-	if w.completed {
-		w.nw.Heal()
-		w.cut = 0
-		w.advance(w.sched.Quiesce)
-	}
+// heal removes every partition without advancing time. On an
+// already-healed world it is a pure no-op (the simulated network holds no
+// per-heal state), which is what lets the enumerator treat a healed
+// state's liveness-probe trajectory as that state's own settle timeline
+// (engine.go).
+func (w *world) heal() {
+	w.nw.Heal()
+	w.cut = 0
+}
+
+// checksNow snapshots the world and runs every safety check against the
+// current instant. check.Run only reads the snapshot, but the trace keeps
+// growing if the world advances afterwards, so callers treat this as the
+// world's final act.
+func (w *world) checksNow() Result {
 	res := Result{Completed: w.completed, World: w.checkWorld()}
 	if w.completed {
 		res.Violations = check.Run(res.World)
 	}
 	return res
+}
+
+// finish heals every partition, lets reconciliation converge for the
+// schedule's quiescence window, and runs every safety check. The world
+// must not be used afterwards.
+func (w *world) finish() Result {
+	if w.completed {
+		w.heal()
+		w.advance(w.sched.Quiesce)
+	}
+	return w.checksNow()
 }

@@ -79,6 +79,7 @@ type Sim struct {
 	now   Time
 	queue eventQueue
 	seq   uint64
+	seed  int64
 	rng   *rand.Rand
 	// steps counts executed events, as a runaway guard and a statistic.
 	steps uint64
@@ -86,14 +87,23 @@ type Sim struct {
 
 // New returns a simulation whose random source is seeded with seed.
 func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+	return &Sim{seed: seed}
 }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
 
-// Rand returns the simulation's deterministic random source.
-func (s *Sim) Rand() *rand.Rand { return s.rng }
+// Rand returns the simulation's deterministic random source. The source
+// is built lazily on first use: seeding math/rand's lagged-Fibonacci
+// state costs more than a short simulation that never draws from it (the
+// bounded enumerator builds millions of single-use worlds, most of which
+// never need randomness).
+func (s *Sim) Rand() *rand.Rand {
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(s.seed))
+	}
+	return s.rng
+}
 
 // Steps returns the number of events executed so far.
 func (s *Sim) Steps() uint64 { return s.steps }
