@@ -46,7 +46,7 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("lwgbench", flag.ContinueOnError)
 	experiment := fs.String("experiment", "all",
-		"fig2-latency | fig2-throughput | fig2-recovery | fig-scale | rt-throughput | enum-throughput | all")
+		"fig2-latency | fig2-throughput | fig2-recovery | fig-scale | rt-throughput | rt-trace-ctx | enum-throughput | all")
 	enumScope := fs.String("enum-scope", "n3g2", "enum-throughput scope")
 	enumDepth := fs.Int("enum-depth", 5, "enum-throughput depth bound")
 	enumPar := fs.Int("enum-par", 4, "enum-throughput fast-mode worker count")
@@ -125,6 +125,8 @@ func run(args []string, out *os.File) error {
 		bench.FigScale(out, groups, *seed, d)
 	case "rt-throughput":
 		bench.RTThroughput(out, procs, *measure, *seed)
+	case "rt-trace-ctx":
+		bench.RTTraceContextRecords(out, *measure, *seed)
 	case "enum-throughput":
 		bench.EnumThroughput(out, *enumScope, *enumDepth, *enumPar)
 	case "all":
@@ -156,6 +158,7 @@ func writeJSON(path string, ns, groups, procs []int, seed int64, d bench.Duratio
 	recs = append(recs, bench.FigScaleRecords(out, groups, seed, d)...)
 	recs = append(recs, bench.ObservabilityRecords(out, seed, d)...)
 	recs = append(recs, bench.RTThroughputRecords(out, procs, 3*time.Second, seed)...)
+	recs = append(recs, bench.RTTraceContextRecords(out, 3*time.Second, seed)...)
 	recs = append(recs, bench.RTAddrKeyRecords(out)...)
 	recs = append(recs, bench.EnumThroughputRecords(out, enumScope, enumDepth, enumPar)...)
 	fmt.Fprintln(out, "  codec microbenchmarks...")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"plwg/internal/explore"
 	"plwg/internal/metrics"
@@ -21,6 +22,7 @@ type enumOpts struct {
 	par        int
 	por        bool
 	probeMemo  bool
+	progress   time.Duration
 }
 
 // runEnumerate is the -enumerate mode: sweep the scope's state graph,
@@ -38,6 +40,7 @@ func runEnumerate(out io.Writer, o enumOpts) error {
 		Par:       o.par,
 		POR:       o.por,
 		ProbeMemo: o.probeMemo,
+		Progress:  o.progress,
 		Metrics:   reg,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(out, format+"\n", args...)

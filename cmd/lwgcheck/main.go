@@ -84,6 +84,7 @@ func run(args []string, out io.Writer) error {
 	checkpoint := fs.String("checkpoint", "", "enumeration checkpoint file: resumed when present, written when the budget stops the sweep early")
 	por := fs.Bool("por", true, "enumeration: partial-order reduction (sleep sets); -por=false sweeps the unreduced graph")
 	probeMemo := fs.Bool("probe-memo", true, "enumeration: probe-trajectory memoisation; -probe-memo=false runs every liveness probe concretely")
+	progressIv := fs.Duration("progress", 0, "enumeration: emit a heartbeat line (states, states/sec, frontier, memo-hit rate) at this interval (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,6 +109,7 @@ func run(args []string, out io.Writer) error {
 			par:        enumPar,
 			por:        *por,
 			probeMemo:  *probeMemo,
+			progress:   *progressIv,
 		})
 	}
 	// Real-network runs are wall-clock bound, so the sweep defaults shrink

@@ -1,0 +1,104 @@
+// Command lwgcollect is the cluster-wide observability collector: it
+// polls every node's debug endpoint (/metrics, /debug/trace,
+// /debug/lwg) on an interval, merges the per-node trace rings into one
+// causally stitched cross-node view, and serves:
+//
+//	/cluster/metrics  every node's samples with a node label, plus
+//	                  cluster_* instruments (text exposition)
+//	/cluster/ops      stitched operation timelines (merge-views,
+//	                  switches, flushes, view installs) as JSONL
+//	/cluster/health   partition map and per-node reachability as JSON
+//
+// Typical use against a three-node lwgnode deployment:
+//
+//	lwgcollect -listen 127.0.0.1:9090 -interval 2s \
+//	           -targets http://127.0.0.1:7070,http://127.0.0.1:7071,http://127.0.0.1:7072
+//
+// Unreachable nodes degrade to last-known-state (marked stale in the
+// health report), so the collector keeps describing the cluster right
+// through the partitions it exists to observe.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"plwg/internal/collect"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lwgcollect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lwgcollect", flag.ContinueOnError)
+	targets := fs.String("targets", "", "comma-separated node debug base URLs (http://host:port)")
+	listen := fs.String("listen", "127.0.0.1:9090", "HTTP listen address for the /cluster endpoints")
+	interval := fs.Duration("interval", 2*time.Second, "scrape interval")
+	rounds := fs.Int("rounds", 0, "exit after this many scrape rounds (0 = run until SIGINT)")
+	maxEvents := fs.Int("max-events", 0, "merged trace-event cap (0 = default)")
+	quiet := fs.Bool("quiet", false, "suppress the per-round progress line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *targets == "" {
+		return fmt.Errorf("no -targets given")
+	}
+	var urls []string
+	for _, t := range strings.Split(*targets, ",") {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		if !strings.Contains(t, "://") {
+			t = "http://" + t
+		}
+		urls = append(urls, t)
+	}
+
+	cfg := collect.Config{Targets: urls, Interval: *interval, MaxEvents: *maxEvents}
+	if !*quiet {
+		cfg.Logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "lwgcollect: "+format+"\n", a...)
+		}
+	}
+	c := collect.New(cfg)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lwgcollect: serving /cluster/{metrics,ops,health} on http://%s, scraping %d node(s) every %v\n",
+		ln.Addr(), len(urls), *interval)
+	srv := &http.Server{Handler: c.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *rounds > 0 {
+		for i := 0; i < *rounds && ctx.Err() == nil; i++ {
+			c.ScrapeOnce(ctx)
+			if i < *rounds-1 {
+				select {
+				case <-ctx.Done():
+				case <-time.After(*interval):
+				}
+			}
+		}
+		return nil
+	}
+	c.Run(ctx)
+	return nil
+}

@@ -42,6 +42,11 @@ type RTOptions struct {
 	// the reader, one Driver.Do per packet, synchronous WriteToUDP on
 	// the loop) as the A/B baseline for the parallel pipeline.
 	Inline bool
+	// TraceSampleEvery forwards to rtnet.NodeConfig.TraceSampleEvery:
+	// 0 keeps the default wire trace-context sampling (every node here
+	// carries a metrics registry, so stamping is on), negative disables
+	// trace contexts entirely — the A/B baseline for the overhead gate.
+	TraceSampleEvery int
 }
 
 func (o RTOptions) withDefaults() RTOptions {
@@ -170,13 +175,14 @@ func RunRTThroughput(procs int, measure time.Duration, seed int64, o RTOptions) 
 			kick:       make(chan struct{}, 1),
 		}
 		n, err := rtnet.Listen(rtnet.NodeConfig{
-			PID:         ids.ProcessID(i),
-			Listen:      "127.0.0.1:0",
-			NameServers: []ids.ProcessID{0},
-			Upcalls:     cols[i],
-			Metrics:     reg,
-			Seed:        seed*1009 + int64(i),
-			Pipeline:    rtnet.PipelineConfig{Inline: o.Inline},
+			PID:              ids.ProcessID(i),
+			Listen:           "127.0.0.1:0",
+			NameServers:      []ids.ProcessID{0},
+			Upcalls:          cols[i],
+			Metrics:          reg,
+			Seed:             seed*1009 + int64(i),
+			Pipeline:         rtnet.PipelineConfig{Inline: o.Inline},
+			TraceSampleEvery: o.TraceSampleEvery,
 		})
 		if err != nil {
 			closeAll()

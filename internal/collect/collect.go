@@ -1,0 +1,545 @@
+package collect
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"plwg/internal/ids"
+	"plwg/internal/metrics"
+	"plwg/internal/rtnet"
+	"plwg/internal/trace"
+)
+
+// Config configures a Collector.
+type Config struct {
+	// Targets are the base URLs of the nodes' debug endpoints (e.g.
+	// "http://127.0.0.1:7070"). The collector identifies each node by the
+	// pid reported on its /debug/lwg once reachable; until then the URL's
+	// host:port stands in.
+	Targets []string
+	// Interval between scrape rounds (default 2s).
+	Interval time.Duration
+	// Client issues the scrapes; the default has a 5-second timeout so a
+	// dead node delays a round, never wedges it.
+	Client *http.Client
+	// MaxEvents bounds the merged cross-node event set (default 131072);
+	// when exceeded, the oldest events (by origin-node virtual time) are
+	// shed. A bounded collector can watch a cluster indefinitely.
+	MaxEvents int
+	// Logf, when set, receives one line per scrape round.
+	Logf func(format string, args ...any)
+}
+
+// nodeState is the collector's last known state of one node. A scrape
+// failure degrades the node to stale — the previous snapshot stays
+// visible, marked with its age — so a partitioned or crashed node never
+// turns the cluster view into an error.
+type nodeState struct {
+	url  string
+	name string // pid rendering once learned, else host:port
+
+	reachable  bool
+	lastErr    string
+	lastOK     time.Time // wall time of the last successful round
+	everSeen   bool
+	pid        ids.ProcessID
+	pidKnown   bool
+	samples    []Sample
+	lwg        rtnet.DebugLWG
+	haveLWG    bool
+	ringTotal  float64 // trace_ring_events_total at last scrape
+	ringDrops  float64 // trace_ring_dropped_total at last scrape
+	lastEvents int     // events merged from this node's ring last round
+}
+
+// Collector polls a set of nodes and maintains the merged cluster view.
+// All exported methods are safe for concurrent use (the HTTP handlers
+// read while the scrape loop writes).
+type Collector struct {
+	cfg Config
+
+	mu     sync.Mutex
+	nodes  []*nodeState
+	events map[string]trace.Event // deduped cross-node event set
+	ops    []trace.Op             // stitched from events after each round
+	rounds int64
+}
+
+// New creates a collector for the target list.
+func New(cfg Config) *Collector {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if cfg.MaxEvents <= 0 {
+		cfg.MaxEvents = 131072
+	}
+	c := &Collector{cfg: cfg, events: make(map[string]trace.Event)}
+	for _, url := range cfg.Targets {
+		name := strings.TrimPrefix(strings.TrimPrefix(url, "http://"), "https://")
+		c.nodes = append(c.nodes, &nodeState{url: strings.TrimRight(url, "/"), name: name})
+	}
+	return c
+}
+
+// Run scrapes every Interval until the context is cancelled. The first
+// round runs immediately.
+func (c *Collector) Run(ctx context.Context) {
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		c.ScrapeOnce(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// ScrapeOnce runs one scrape round across all targets (concurrently)
+// and folds the results into the merged view.
+func (c *Collector) ScrapeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	results := make([]scrapeResult, len(c.nodes))
+	c.mu.Lock()
+	urls := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		urls[i] = n.url
+	}
+	c.mu.Unlock()
+	for i, url := range urls {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			results[i] = c.scrapeNode(ctx, url)
+		}(i, url)
+	}
+	wg.Wait()
+	c.fold(results)
+}
+
+// scrapeResult is everything one round learned from one node.
+type scrapeResult struct {
+	err     error
+	samples []Sample
+	lwg     rtnet.DebugLWG
+	haveLWG bool
+	events  []trace.Event
+}
+
+func (c *Collector) scrapeNode(ctx context.Context, base string) scrapeResult {
+	var res scrapeResult
+	body, err := c.get(ctx, base+"/metrics")
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.samples, err = ParseText(strings.NewReader(string(body)))
+	if err != nil {
+		res.err = err
+		return res
+	}
+	// /debug/lwg and /debug/trace are best-effort refinements: a node
+	// serving metrics but not tracing still counts as reachable.
+	if body, err := c.get(ctx, base+"/debug/lwg"); err == nil {
+		if json.Unmarshal(body, &res.lwg) == nil {
+			res.haveLWG = true
+		}
+	}
+	if body, err := c.get(ctx, base+"/debug/trace"); err == nil {
+		if evs, err := trace.ParseJSONL(strings.NewReader(string(body))); err == nil {
+			res.events = evs
+		}
+	}
+	return res
+}
+
+func (c *Collector) get(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	// The 64 MiB bound keeps a misbehaving node from OOMing the collector.
+	return io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+}
+
+// fold applies one round's results to the merged state.
+func (c *Collector) fold(results []scrapeResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rounds++
+	now := time.Now()
+	merged := 0
+	for i, res := range results {
+		n := c.nodes[i]
+		if res.err != nil {
+			n.reachable = false
+			n.lastErr = res.err.Error()
+			continue
+		}
+		n.reachable, n.lastErr, n.lastOK, n.everSeen = true, "", now, true
+		n.samples = res.samples
+		for _, s := range res.samples {
+			switch s.Name {
+			case "trace_ring_events_total":
+				n.ringTotal = s.Value
+			case "trace_ring_dropped_total":
+				n.ringDrops = s.Value
+			}
+		}
+		if res.haveLWG {
+			n.lwg = res.lwg
+			n.haveLWG = true
+			n.pid, n.pidKnown = res.lwg.PID, true
+			n.name = n.pid.String()
+		}
+		n.lastEvents = len(res.events)
+		for _, e := range res.events {
+			k := eventKey(e)
+			if _, dup := c.events[k]; !dup {
+				c.events[k] = e
+				merged++
+			}
+		}
+	}
+	c.shedOldEvents()
+	all := make([]trace.Event, 0, len(c.events))
+	for _, e := range c.events {
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].At != all[j].At {
+			return all[i].At < all[j].At
+		}
+		return all[i].Node < all[j].Node
+	})
+	c.ops = trace.Stitch(all)
+	if c.cfg.Logf != nil {
+		up := 0
+		for _, n := range c.nodes {
+			if n.reachable {
+				up++
+			}
+		}
+		c.cfg.Logf("round %d: %d/%d nodes up, +%d events (%d total), %d ops",
+			c.rounds, up, len(c.nodes), merged, len(c.events), len(c.ops))
+	}
+}
+
+// shedOldEvents enforces the MaxEvents bound, dropping the oldest
+// events by virtual time first. Shedding can orphan the early legs of a
+// long-lived op; the ring drop counters on /cluster/metrics make that
+// diagnosable.
+func (c *Collector) shedOldEvents() {
+	over := len(c.events) - c.cfg.MaxEvents
+	if over <= 0 {
+		return
+	}
+	type ke struct {
+		k string
+		e trace.Event
+	}
+	all := make([]ke, 0, len(c.events))
+	for k, e := range c.events {
+		all = append(all, ke{k, e})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].e.At < all[j].e.At })
+	for _, x := range all[:over] {
+		delete(c.events, x.k)
+	}
+}
+
+// eventKey is the dedup identity of a ring event across repeated
+// scrapes of overlapping snapshots. Every field participates: two
+// legitimately distinct events never collide, and the same event
+// scraped twice always does.
+func eventKey(e trace.Event) string {
+	return fmt.Sprintf("%d|%d|%s|%s|%s|%s|%v|%v|%v|%d|%s|%s|%d",
+		int64(e.At), int32(e.Node), e.Layer, e.What, e.Text, e.Group,
+		e.View, e.Members, e.Parents, int32(e.Src), e.Data, e.Ref, e.Step)
+}
+
+// Ops returns the stitched cross-node operations as of the last round.
+func (c *Collector) Ops() []trace.Op {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]trace.Op(nil), c.ops...)
+}
+
+// Events returns the merged deduped event set, time-ordered.
+func (c *Collector) Events() []trace.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	all := make([]trace.Event, 0, len(c.events))
+	for _, e := range c.events {
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].At != all[j].At {
+			return all[i].At < all[j].At
+		}
+		return all[i].Node < all[j].Node
+	})
+	return all
+}
+
+// Rounds returns the number of completed scrape rounds.
+func (c *Collector) Rounds() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rounds
+}
+
+// NodeHealth is one node's row in the health report.
+type NodeHealth struct {
+	Name      string `json:"name"`
+	URL       string `json:"url"`
+	PID       int32  `json:"pid,omitempty"`
+	Reachable bool   `json:"reachable"`
+	// StaleSeconds is the age of the data shown for an unreachable node
+	// that was seen before (last-known-state degradation); 0 when fresh.
+	StaleSeconds float64 `json:"stale_seconds,omitempty"`
+	Error        string  `json:"error,omitempty"`
+	RingDropped  float64 `json:"trace_ring_dropped,omitempty"`
+}
+
+// Partition is one connected component of the cluster as implied by LWG
+// view memberships.
+type Partition struct {
+	Members []string `json:"members"` // pid renderings, sorted
+	LWGs    []string `json:"lwgs"`    // groups whose current views live here
+}
+
+// Health is the /cluster/health JSON document.
+type Health struct {
+	Rounds     int64        `json:"rounds"`
+	Nodes      []NodeHealth `json:"nodes"`
+	Partitions []Partition  `json:"partitions"`
+	// Disagreements lists LWGs whose reachable members report different
+	// current views — the signature of a partition mid-reconciliation.
+	Disagreements []string `json:"disagreements,omitempty"`
+}
+
+// HealthSnapshot derives the partition-aware health view from the last
+// known state of every node. Unreachable nodes degrade to their last
+// snapshot (marked stale); they still contribute membership evidence,
+// because an unreachable node is exactly the one whose partition you
+// want mapped.
+func (c *Collector) HealthSnapshot() Health {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := Health{Rounds: c.rounds}
+	now := time.Now()
+
+	// Node rows.
+	for _, n := range c.nodes {
+		row := NodeHealth{Name: n.name, URL: n.url, Reachable: n.reachable,
+			Error: n.lastErr, RingDropped: n.ringDrops}
+		if n.pidKnown {
+			row.PID = int32(n.pid)
+		}
+		if !n.reachable && n.everSeen {
+			row.StaleSeconds = now.Sub(n.lastOK).Seconds()
+		}
+		h.Nodes = append(h.Nodes, row)
+	}
+
+	// Union-find over process ids: every LWG view's membership is an
+	// edge set (those members see each other), and every scraped node is
+	// at least its own singleton.
+	uf := newUnionFind()
+	lwgHome := make(map[string]ids.ProcessID) // LWG → representative after unions
+	lwgViews := make(map[string]map[string]bool)
+	for _, n := range c.nodes {
+		if !n.haveLWG {
+			continue
+		}
+		uf.add(n.lwg.PID)
+		for _, e := range n.lwg.LWGs {
+			if e.View != "" {
+				if lwgViews[e.LWG] == nil {
+					lwgViews[e.LWG] = make(map[string]bool)
+				}
+				lwgViews[e.LWG][e.View] = true
+			}
+			var first ids.ProcessID
+			for i, ms := range e.Members {
+				p, ok := parsePID(ms)
+				if !ok {
+					continue
+				}
+				uf.add(p)
+				if i == 0 {
+					first = p
+				} else {
+					uf.union(first, p)
+				}
+			}
+			if len(e.Members) > 0 {
+				if p, ok := parsePID(e.Members[0]); ok {
+					lwgHome[e.LWG] = p
+				}
+			}
+		}
+	}
+
+	// Components → partitions.
+	comp := make(map[ids.ProcessID][]ids.ProcessID)
+	for _, p := range uf.all() {
+		root := uf.find(p)
+		comp[root] = append(comp[root], p)
+	}
+	roots := make([]ids.ProcessID, 0, len(comp))
+	for r := range comp {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	rootLWGs := make(map[ids.ProcessID][]string)
+	for lwg, p := range lwgHome {
+		rootLWGs[uf.find(p)] = append(rootLWGs[uf.find(p)], lwg)
+	}
+	for _, r := range roots {
+		members := comp[r]
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		part := Partition{}
+		for _, m := range members {
+			part.Members = append(part.Members, m.String())
+		}
+		part.LWGs = rootLWGs[r]
+		sort.Strings(part.LWGs)
+		h.Partitions = append(h.Partitions, part)
+	}
+
+	// Disagreements: one LWG, several current views across nodes.
+	for lwg, views := range lwgViews {
+		if len(views) > 1 {
+			vs := make([]string, 0, len(views))
+			for v := range views {
+				vs = append(vs, v)
+			}
+			sort.Strings(vs)
+			h.Disagreements = append(h.Disagreements,
+				fmt.Sprintf("%s: views %s", lwg, strings.Join(vs, " vs ")))
+		}
+	}
+	sort.Strings(h.Disagreements)
+	return h
+}
+
+// WriteClusterMetrics renders the aggregated exposition: the
+// collector's own cluster_* instruments, one node_stale flag per node,
+// then every node's samples re-emitted with a node label attached.
+// Unreachable nodes keep exporting their last-known samples (their
+// node_stale flag says so) rather than vanishing from dashboards
+// mid-partition.
+func (c *Collector) WriteClusterMetrics(w io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b strings.Builder
+	up := 0
+	for _, n := range c.nodes {
+		if n.reachable {
+			up++
+		}
+	}
+	fmt.Fprintf(&b, "# TYPE cluster_scrape_rounds_total counter\ncluster_scrape_rounds_total %d\n", c.rounds)
+	fmt.Fprintf(&b, "# TYPE cluster_nodes_total gauge\ncluster_nodes_total %d\n", len(c.nodes))
+	fmt.Fprintf(&b, "# TYPE cluster_nodes_reachable gauge\ncluster_nodes_reachable %d\n", up)
+	fmt.Fprintf(&b, "# TYPE cluster_events_merged gauge\ncluster_events_merged %d\n", len(c.events))
+	fmt.Fprintf(&b, "# TYPE cluster_ops_stitched gauge\ncluster_ops_stitched %d\n", len(c.ops))
+	b.WriteString("# TYPE node_stale gauge\n")
+	for _, n := range c.nodes {
+		if !n.everSeen {
+			continue
+		}
+		stale := 0
+		if !n.reachable {
+			stale = 1
+		}
+		fmt.Fprintf(&b, "%s %d\n", "node_stale"+Sample{Labels: []metrics.Label{metrics.L("node", n.name)}}.labelString(), stale)
+	}
+	for _, n := range c.nodes {
+		if !n.everSeen {
+			continue
+		}
+		for _, s := range n.samples {
+			labels := append(append([]metrics.Label(nil), s.Labels...), metrics.L("node", n.name))
+			sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+			fmt.Fprintf(&b, "%s%s %v\n", s.Name, Sample{Labels: labels}.labelString(), s.Value)
+		}
+	}
+	_, _ = io.WriteString(w, b.String())
+}
+
+// parsePID inverts the "p<N>" process-id rendering.
+func parsePID(s string) (ids.ProcessID, bool) {
+	if !strings.HasPrefix(s, "p") {
+		return 0, false
+	}
+	var n int32
+	if _, err := fmt.Sscanf(s[1:], "%d", &n); err != nil {
+		return 0, false
+	}
+	return ids.ProcessID(n), true
+}
+
+// unionFind is a plain disjoint-set over process ids.
+type unionFind struct {
+	parent map[ids.ProcessID]ids.ProcessID
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[ids.ProcessID]ids.ProcessID)}
+}
+
+func (u *unionFind) add(p ids.ProcessID) {
+	if _, ok := u.parent[p]; !ok {
+		u.parent[p] = p
+	}
+}
+
+func (u *unionFind) find(p ids.ProcessID) ids.ProcessID {
+	u.add(p)
+	for u.parent[p] != p {
+		u.parent[p] = u.parent[u.parent[p]]
+		p = u.parent[p]
+	}
+	return p
+}
+
+func (u *unionFind) union(a, b ids.ProcessID) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		u.parent[rb] = ra
+	}
+}
+
+func (u *unionFind) all() []ids.ProcessID {
+	out := make([]ids.ProcessID, 0, len(u.parent))
+	for p := range u.parent {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,92 @@
+package collect
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"plwg/internal/trace"
+)
+
+// Handler serves the collector's cluster-wide endpoints:
+//
+//	/cluster/metrics  aggregated text exposition (every node's samples
+//	                  with a node label, plus cluster_* instruments)
+//	/cluster/ops      stitched cross-node operation timelines as JSONL
+//	/cluster/health   partition-aware health report as JSON
+//
+// All three serve whatever the collector knows right now — during a
+// partition or node crash they degrade to last-known-state with
+// staleness marked, never to an error.
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/metrics", c.serveMetrics)
+	mux.HandleFunc("/cluster/ops", c.serveOps)
+	mux.HandleFunc("/cluster/health", c.serveHealth)
+	return mux
+}
+
+func (c *Collector) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.WriteClusterMetrics(w)
+}
+
+// opJSON is the JSONL shape of one stitched operation on /cluster/ops.
+type opJSON struct {
+	Op      string       `json:"op"`   // the human rendering ("merge-views hwg5@p0/7")
+	Kind    string       `json:"kind"` // lwg-view | switch | merge-views | flush
+	Group   string       `json:"group"`
+	View    string       `json:"view,omitempty"`
+	Ref     string       `json:"ref,omitempty"`
+	Nodes   []string     `json:"nodes"`
+	StartNs int64        `json:"start_ns"`
+	EndNs   int64        `json:"end_ns"`
+	Events  []opEventRow `json:"events"`
+}
+
+type opEventRow struct {
+	AtNs int64  `json:"at_ns"`
+	Node string `json:"node"`
+	What string `json:"what"`
+	Step int    `json:"step,omitempty"`
+	Text string `json:"text,omitempty"`
+}
+
+func toOpJSON(op trace.Op) opJSON {
+	out := opJSON{
+		Op:      op.Key.String(),
+		Kind:    op.Key.Kind,
+		Group:   op.Key.Group,
+		Ref:     op.Key.Ref,
+		StartNs: int64(op.Start),
+		EndNs:   int64(op.End),
+	}
+	if !op.Key.View.IsZero() {
+		out.View = op.Key.View.String()
+	}
+	for _, n := range op.Nodes {
+		out.Nodes = append(out.Nodes, n.String())
+	}
+	for _, e := range op.Events {
+		out.Events = append(out.Events, opEventRow{
+			AtNs: int64(e.At), Node: e.Node.String(), What: e.What,
+			Step: e.Step, Text: e.Text,
+		})
+	}
+	return out
+}
+
+func (c *Collector) serveOps(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for _, op := range c.Ops() {
+		_ = enc.Encode(toOpJSON(op))
+	}
+}
+
+func (c *Collector) serveHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(c.HealthSnapshot())
+}

@@ -88,6 +88,9 @@ type lwgMember struct {
 	// (nil with metrics disabled; nil instruments no-op).
 	cSends    *metrics.Counter
 	cDelivers *metrics.Counter
+	// hLatency is the LWG-level one-way send→deliver latency histogram,
+	// fed by wire trace contexts surviving through the HWG delivery path.
+	hLatency *metrics.Histo
 }
 
 // lwgFlushRound is the coordinator-side state of one LWG-level flush.
@@ -123,6 +126,7 @@ func newLwgMember(e *Endpoint, id ids.LWGID) *lwgMember {
 		pendingRejoiners: make(map[ids.ProcessID]bool),
 		cSends:           e.reg.Counter("lwg_sends_total", metrics.L("lwg", string(id))),
 		cDelivers:        e.reg.Counter("lwg_deliveries_total", metrics.L("lwg", string(id))),
+		hLatency:         e.reg.Histogram("lwg_oneway_latency", metrics.L("lwg", string(id))),
 	}
 }
 

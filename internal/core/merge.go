@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"plwg/internal/ids"
 	"plwg/internal/naming"
@@ -169,7 +170,19 @@ func (e *Endpoint) onLwgData(st *hwgState, src ids.ProcessID, msg *lwgData) {
 	}
 	switch {
 	case msg.View == m.view.ID:
-		// Figure 5 line 104: the message was sent in our view.
+		// Figure 5 line 104: the message was sent in our view. Direct
+		// delivery happens synchronously under the HWG Data upcall, so
+		// the wire trace context (when the envelope carried one) is still
+		// live — record LWG-level one-way latency here. Replayed
+		// pre-install buffers deliberately skip this: their context
+		// would be stale by install time.
+		if tc, ok := e.hwg.InboundTC(); ok && tc.Origin == int64(src) {
+			lat := time.Duration(time.Now().UnixNano() - tc.Wall)
+			if lat < 0 {
+				lat = 0
+			}
+			m.hLatency.Observe(lat)
+		}
 		m.deliverData(src, msg)
 	case m.ancestors.Contains(msg.View):
 		// Sent in a view we have since superseded: drop.

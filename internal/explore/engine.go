@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -284,6 +285,7 @@ type engine struct {
 	sliceRuns    int
 	sliceVisited int
 	start        time.Time
+	lastBeat     time.Time
 
 	logf func(string, ...any)
 
@@ -302,7 +304,8 @@ func newEngine(cfg EnumConfig) *engine {
 		visited: newShardedSet(),
 		memo:    newShardedSet(),
 
-		start: time.Now(),
+		start:    time.Now(),
+		lastBeat: time.Now(),
 
 		mRuns:         cfg.Metrics.Counter("enum_runs_total"),
 		mStates:       cfg.Metrics.Counter("enum_states_total"),
@@ -564,6 +567,26 @@ func (e *engine) addFinding(n *pnode, r Result) {
 	e.mFound.Inc()
 }
 
+// heartbeat emits the Progress line when the interval has elapsed. Both
+// run loops call it once per consumption, on the coordinator goroutine,
+// so the reported stats are always a consistent frontier-ordered
+// snapshot regardless of the worker count.
+func (e *engine) heartbeat() {
+	if e.cfg.Progress <= 0 || time.Since(e.lastBeat) < e.cfg.Progress {
+		return
+	}
+	e.lastBeat = time.Now()
+	e.setRate()
+	line := fmt.Sprintf("progress: %d states (%d/s), %d runs, %d pruned, frontier %d, deepest %d",
+		e.res.Stats.Visited, e.mStatesPerSec.Value(), e.res.Stats.Runs,
+		e.res.Stats.Pruned, len(e.queue)-e.nextConsume, e.res.Stats.Deepest)
+	if e.memoOn && e.res.Stats.Runs > 0 {
+		hits := e.mMemoHits.Value() + e.mRideHits.Value()
+		line += fmt.Sprintf(", memo-hit %d%%", 100*hits/int64(e.res.Stats.Runs))
+	}
+	e.logf("%s", line)
+}
+
 func (e *engine) setRate() {
 	secs := time.Since(e.start).Seconds()
 	if secs <= 0 {
@@ -581,6 +604,7 @@ func (e *engine) runSerial() {
 		e.nextConsume++
 		e.mFrontier.Set(int64(len(e.queue) - e.nextConsume))
 		e.consume(n, e.expand(n))
+		e.heartbeat()
 	}
 }
 
@@ -641,6 +665,7 @@ func (e *engine) runParallel(par int) {
 		e.nextConsume++
 		e.mFrontier.Set(int64(len(e.queue) - e.nextConsume))
 		e.consume(e.queue[idx], out)
+		e.heartbeat()
 	}
 	close(taskCh)
 	wg.Wait()

@@ -171,6 +171,11 @@ type EnumConfig struct {
 	Metrics *metrics.Registry
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
+	// Progress, when positive, emits a heartbeat line to Log at this
+	// interval: states visited, states/sec, runs, frontier size, deepest
+	// prefix and (with ProbeMemo) the memo-hit rate. Long sweeps are
+	// otherwise silent for minutes between the per-500-states lines.
+	Progress time.Duration
 }
 
 func (c EnumConfig) withDefaults() EnumConfig {

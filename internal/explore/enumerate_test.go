@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -127,6 +128,64 @@ func TestEnumerateResume(t *testing.T) {
 	}
 	if len(res.Findings) != len(full.Findings) {
 		t.Fatalf("sliced findings %d, full %d", len(res.Findings), len(full.Findings))
+	}
+}
+
+// TestEnumerateProgressHeartbeat: with Progress set, the sweep emits
+// heartbeat lines carrying the live counters, and the heartbeat changes
+// nothing about the result (it is observation only).
+func TestEnumerateProgressHeartbeat(t *testing.T) {
+	cfg := EnumConfig{
+		Scope: Scope{Nodes: 2, Groups: 1, Quiesce: 8 * time.Second},
+		Depth: 3,
+	}
+	quiet := Enumerate(cfg)
+
+	var lines []string
+	loud := cfg
+	loud.Progress = time.Nanosecond // fire on every consumption
+	loud.Log = func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	res := Enumerate(loud)
+	if !reflect.DeepEqual(res.Stats, quiet.Stats) {
+		t.Fatalf("heartbeat changed the sweep: %+v vs %+v", res.Stats, quiet.Stats)
+	}
+
+	beats := 0
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "progress: ") {
+			continue
+		}
+		beats++
+		for _, field := range []string{"states", "/s)", "runs", "pruned", "frontier", "deepest"} {
+			if !strings.Contains(l, field) {
+				t.Fatalf("heartbeat line missing %q: %s", field, l)
+			}
+		}
+	}
+	if beats == 0 {
+		t.Fatalf("no heartbeat lines among %d log lines", len(lines))
+	}
+	// The final heartbeat reflects the completed sweep's run count.
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, fmt.Sprintf("%d runs", res.Stats.Runs)) {
+		t.Fatalf("last heartbeat does not carry the final run count (%d): %s",
+			res.Stats.Runs, last)
+	}
+	// With the memo on, the heartbeat reports the hit rate too.
+	lines = nil
+	loud.ProbeMemo = true
+	Enumerate(loud)
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "memo-hit ") && strings.Contains(l, "%") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no memo-hit rate in heartbeats with ProbeMemo on:\n%s",
+			strings.Join(lines, "\n"))
 	}
 }
 

@@ -372,7 +372,10 @@ func (r *Registry) eachEntry(fn func(*family, *entry)) {
 
 // WriteText renders the registry in the Prometheus text exposition
 // style: "# TYPE" comments followed by 'name{k="v"} value' lines,
-// deterministically ordered. On a nil registry it writes nothing.
+// deterministically ordered. Label values are escaped per the
+// exposition format (backslash, double quote, newline — and nothing
+// else; Go's %q escaping is NOT valid exposition text). On a nil
+// registry it writes nothing.
 func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -384,19 +387,72 @@ func (r *Registry) WriteText(w io.Writer) error {
 		}
 	}
 	lastFamily := ""
-	for _, s := range r.Snapshot() {
-		base := histogramBase(s.Name)
-		if base != lastFamily {
-			kind := s.Kind
-			if base != s.Name {
-				kind = "histogram"
-			}
-			write("# TYPE %s %s\n", base, kind)
-			lastFamily = base
+	r.eachEntry(func(f *family, e *entry) {
+		if f.name != lastFamily {
+			write("# TYPE %s %v\n", f.name, f.kind)
+			lastFamily = f.name
 		}
-		write("%s%s %v\n", s.Name, textLabels(s.Labels), s.Value)
-	}
+		lbl := promLabels(e.labels)
+		switch f.kind {
+		case KindCounter:
+			write("%s%s %v\n", f.name, lbl, float64(e.c.Value()))
+		case KindGauge:
+			write("%s%s %v\n", f.name, lbl, float64(e.g.Value()))
+		case KindHistogram:
+			count, mean, min, max, p50, p99 := e.h.summary()
+			write("%s_count%s %v\n", f.name, lbl, float64(count))
+			write("%s_mean_seconds%s %v\n", f.name, lbl, mean.Seconds())
+			write("%s_min_seconds%s %v\n", f.name, lbl, min.Seconds())
+			write("%s_max_seconds%s %v\n", f.name, lbl, max.Seconds())
+			write("%s_p50_seconds%s %v\n", f.name, lbl, p50.Seconds())
+			write("%s_p99_seconds%s %v\n", f.name, lbl, p99.Seconds())
+		}
+	})
 	return err
+}
+
+// EscapeLabelValue escapes a label value for the Prometheus text
+// exposition format: backslash, double quote and newline, nothing else.
+// Exported so scrapers (internal/collect) can invert it exactly.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a sorted label set as {k="v",k="v"} with escaped
+// values (empty string for the unlabeled entry).
+func promLabels(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // histogramSuffixes are the sample-name suffixes a histogram flattens
@@ -413,18 +469,4 @@ func histogramBase(name string) string {
 		}
 	}
 	return name
-}
-
-// textLabels renders the snapshot label string as {k="v",k="v"}.
-func textLabels(labels string) string {
-	if labels == "" {
-		return ""
-	}
-	parts := strings.Split(labels, ",")
-	for i, p := range parts {
-		if kv := strings.SplitN(p, "=", 2); len(kv) == 2 {
-			parts[i] = fmt.Sprintf("%s=%q", kv[0], kv[1])
-		}
-	}
-	return "{" + strings.Join(parts, ",") + "}"
 }

@@ -140,6 +140,41 @@ func TestRegistryWriteText(t *testing.T) {
 	}
 }
 
+// TestWriteTextLabelEscaping pins the Prometheus exposition escaping
+// rules on hostile label values: exactly backslash, double quote and
+// newline are escaped (as \\, \" and \n), and nothing else — Go's %q
+// would emit \x.. sequences no exposition parser accepts.
+func TestWriteTextLabelEscaping(t *testing.T) {
+	cases := []struct {
+		name     string
+		value    string
+		rendered string
+	}{
+		{"plain", "chat", `chat`},
+		{"backslash", `a\b`, `a\\b`},
+		{"quote", `say "hi"`, `say \"hi\"`},
+		{"newline", "line1\nline2", `line1\nline2`},
+		{"all-three", "\\\"\n", `\\\"\n`},
+		{"comma-equals", `k=v,x=y`, `k=v,x=y`},          // structural chars pass through inside quotes
+		{"tab-and-unicode", "a\tb\u00e9", "a\tb\u00e9"}, // NOT escaped: only \ " and newline are
+		{"trailing-backslash", `c:\`, `c:\\`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			r.Counter("escape_total", L("lwg", tc.value)).Add(7)
+			var b strings.Builder
+			if err := r.WriteText(&b); err != nil {
+				t.Fatal(err)
+			}
+			want := `escape_total{lwg="` + tc.rendered + `"} 7`
+			if !strings.Contains(b.String(), want+"\n") {
+				t.Errorf("WriteText(%q): missing %q in:\n%s", tc.value, want, b.String())
+			}
+		})
+	}
+}
+
 func TestNilRegistryDisabled(t *testing.T) {
 	var r *Registry
 	c := r.Counter("x", L("a", "b"))

@@ -2,6 +2,7 @@ package rtnet
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 
@@ -46,6 +47,14 @@ func (n *Node) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = reg.WriteText(w)
+	// The trace ring lives outside the registry; surface its overwrite
+	// count so a scraper can tell when /debug/trace history is partial
+	// (a stitched op with missing legs then means "ring wrapped", not
+	// "protocol bug").
+	if ring, ok := n.cfg.Tracer.(*trace.Ring); ok {
+		fmt.Fprintf(w, "# TYPE trace_ring_dropped_total counter\ntrace_ring_dropped_total %d\n", ring.Dropped())
+		fmt.Fprintf(w, "# TYPE trace_ring_events_total counter\ntrace_ring_events_total %d\n", ring.Total())
+	}
 }
 
 func (n *Node) serveRTNet(w http.ResponseWriter, _ *http.Request) {
@@ -65,14 +74,17 @@ func (n *Node) serveTrace(w http.ResponseWriter, _ *http.Request) {
 	_ = trace.WriteJSONL(w, snap.Snapshot())
 }
 
-// debugLWG is the JSON shape of /debug/lwg.
-type debugLWG struct {
+// DebugLWG is the JSON shape of /debug/lwg. It is exported so the
+// collector (internal/collect) can decode node snapshots with the same
+// struct the node encodes.
+type DebugLWG struct {
 	PID  ids.ProcessID   `json:"pid"`
-	LWGs []debugLWGEntry `json:"lwgs"`
+	LWGs []DebugLWGEntry `json:"lwgs"`
 	HWGs []string        `json:"hwgs"`
 }
 
-type debugLWGEntry struct {
+// DebugLWGEntry is one light-weight group in a DebugLWG snapshot.
+type DebugLWGEntry struct {
 	LWG     string   `json:"lwg"`
 	View    string   `json:"view,omitempty"`
 	Members []string `json:"members,omitempty"`
@@ -81,11 +93,11 @@ type debugLWGEntry struct {
 }
 
 func (n *Node) serveLWG(w http.ResponseWriter, _ *http.Request) {
-	var out debugLWG
+	var out DebugLWG
 	n.Do(func(ep *core.Endpoint) {
 		out.PID = ep.PID()
 		for _, lwg := range ep.LWGs() {
-			e := debugLWGEntry{LWG: string(lwg), Coord: ep.IsLWGCoordinator(lwg)}
+			e := DebugLWGEntry{LWG: string(lwg), Coord: ep.IsLWGCoordinator(lwg)}
 			if v, ok := ep.LWGView(lwg); ok {
 				e.View = v.ID.String()
 				for _, m := range v.Members {

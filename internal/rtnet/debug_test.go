@@ -2,11 +2,13 @@ package rtnet
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -207,7 +209,7 @@ func TestDebugEndpoints(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("/debug/lwg status %d", code)
 	}
-	var dbg debugLWG
+	var dbg DebugLWG
 	if err := json.Unmarshal([]byte(body), &dbg); err != nil {
 		t.Fatalf("/debug/lwg is not valid JSON: %v\n%s", err, body)
 	}
@@ -227,6 +229,158 @@ func TestDebugEndpoints(t *testing.T) {
 	code, _ = httpGet(t, srv.URL+"/debug/pprof/cmdline")
 	if code != http.StatusOK {
 		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+// debugFetch is the goroutine-safe httpGet: scraper goroutines cannot
+// call t.Fatalf, so failures come back as errors.
+func debugFetch(url string) (int, string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", err
+	}
+	return resp.StatusCode, string(body), nil
+}
+
+// TestDebugEndpointsConcurrent hammers every debug endpoint from several
+// goroutines while protocol traffic flows AND the fault table mutates
+// underneath (SetFaults / SetLinkFault / Block / ClearFaults mid-scrape).
+// The -race run is the real assertion: the debug surface — which is what
+// lwgcollect polls in production — must never race the protocol loop or
+// the fault layer, and every response must stay parseable even while the
+// cluster is being actively broken.
+func TestDebugEndpointsConcurrent(t *testing.T) {
+	nodes, cols, _, ring := startDebugCluster(t, 3)
+	for i := range nodes {
+		nodes[i].Do(func(ep *core.Endpoint) { _ = ep.Join("dbg") })
+	}
+	eventually(t, 15*time.Second, func() bool {
+		v, ok := cols[0].lastView()
+		return ok && v.Members.Equal(ids.NewMembers(0, 1, 2))
+	}, "membership did not converge")
+
+	srv := httptest.NewServer(nodes[0].DebugHandler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var bgWg, scrWg sync.WaitGroup
+
+	// Traffic: every node keeps sending while the scrapers run.
+	bgWg.Add(1)
+	go func() {
+		defer bgWg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			nodes[i%3].Do(func(ep *core.Endpoint) {
+				_ = ep.Send("dbg", []byte("concurrent-traffic"))
+			})
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Fault mutator: cycle the whole mutation surface against the live
+	// links — spec installs, per-link overrides, symmetric blocks, clears.
+	bgWg.Add(1)
+	go func() {
+		defer bgWg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 4 {
+			case 0:
+				if err := nodes[0].SetFaults("loss=0.1,dup=0.1,delay=100us..1ms"); err != nil {
+					t.Errorf("SetFaults: %v", err)
+				}
+			case 1:
+				nodes[0].SetLinkFault(2, &FaultRule{Reorder: 0.5, DelayMax: time.Millisecond})
+				nodes[1].Block(2)
+			case 2:
+				nodes[1].Unblock()
+				nodes[0].SetLinkFault(2, nil)
+			case 3:
+				nodes[0].ClearFaults()
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Scrapers: four concurrent pollers × every endpoint, exactly the
+	// load pattern a collector fleet puts on one node.
+	scrapeErrs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		scrWg.Add(1)
+		go func() {
+			defer scrWg.Done()
+			for i := 0; i < 25; i++ {
+				for _, path := range []string{"/metrics", "/debug/trace", "/debug/lwg"} {
+					code, body, err := debugFetch(srv.URL + path)
+					if err != nil || code != http.StatusOK {
+						select {
+						case scrapeErrs <- fmt.Errorf("%s: code %d err %v", path, code, err):
+						default:
+						}
+						continue
+					}
+					switch path {
+					case "/debug/trace":
+						if _, err := trace.ParseJSONL(strings.NewReader(body)); err != nil {
+							select {
+							case scrapeErrs <- fmt.Errorf("trace JSONL under load: %v", err):
+							default:
+							}
+						}
+					case "/debug/lwg":
+						var dbg DebugLWG
+						if err := json.Unmarshal([]byte(body), &dbg); err != nil {
+							select {
+							case scrapeErrs <- fmt.Errorf("lwg JSON under load: %v", err):
+							default:
+							}
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	// The scrapers bound the run; the traffic and mutator loops stop once
+	// they finish (or once a generous deadline decides something wedged).
+	done := make(chan struct{})
+	go func() { scrWg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Error("concurrent debug scrape did not finish in 60s")
+	}
+	close(stop)
+	bgWg.Wait()
+	for len(scrapeErrs) > 0 {
+		t.Error(<-scrapeErrs)
+	}
+
+	// Leave the cluster healthy and the surface coherent: faults cleared,
+	// one final scrape parses, and the ring kept absorbing events.
+	nodes[0].ClearFaults()
+	nodes[1].Unblock()
+	code, body := httpGet(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("final /metrics status %d", code)
+	}
+	parseTextMetrics(t, body)
+	if ring.Total() == 0 {
+		t.Error("trace ring absorbed no events during the run")
 	}
 }
 

@@ -47,9 +47,23 @@ type NodeConfig struct {
 	// send ring, writer goroutines). The zero value picks defaults; set
 	// Pipeline.Inline for the single-goroutine baseline path.
 	Pipeline PipelineConfig
+	// TraceSampleEvery gates the wire-level trace context on
+	// high-volume traffic (data/ack/heartbeat/nack envelopes): every Nth
+	// such send carries the sender's causal context; control traffic
+	// always does. 0 picks the default (64); a negative value disables
+	// wire trace contexts entirely. Only meaningful when the node is
+	// instrumented (Tracer or Metrics set) — an uninstrumented node
+	// never stamps contexts.
+	TraceSampleEvery int
 	// Seed seeds the node's local engine.
 	Seed int64
 }
+
+// DefaultTraceSampleEvery is the default wire trace-context sampling
+// interval for high-volume message kinds: 1-in-64 keeps the rt-throughput
+// overhead well inside the observability budget while still yielding
+// hundreds of latency samples per second at data-plane rates.
+const DefaultTraceSampleEvery = 64
 
 // Node is one live process: driver + UDP transport + LWG endpoint (and
 // possibly a naming server).
@@ -92,6 +106,16 @@ func Listen(cfg NodeConfig) (*Node, error) {
 	n.tr.SeedFaults(cfg.Seed ^ 0x5bd1e995)
 	n.tr.pc = cfg.Pipeline
 	n.tr.Instrument(cfg.Metrics)
+	// Wire trace contexts ride only on instrumented nodes: stamping costs
+	// a wall-clock read and a few bytes per sampled envelope, and without
+	// a tracer or registry nobody could consume them.
+	if cfg.TraceSampleEvery >= 0 && (cfg.Tracer != nil || cfg.Metrics != nil) {
+		every := cfg.TraceSampleEvery
+		if every == 0 {
+			every = DefaultTraceSampleEvery
+		}
+		n.tr.TraceContext(cfg.Tracer, every)
+	}
 	return n, nil
 }
 

@@ -1,0 +1,126 @@
+package rtnet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+	"testing"
+
+	"plwg/internal/wire"
+)
+
+// gobTestMsg has no codec (wire.Marshaler) support, forcing the gob
+// envelope fallback.
+type gobTestMsg struct{ Data []byte }
+
+func (m *gobTestMsg) WireSize() int { return len(m.Data) }
+
+var gobTestRegOnce sync.Once
+
+func registerGobTestMsg() {
+	gobTestRegOnce.Do(func() { gob.Register(&gobTestMsg{}) })
+}
+
+// TestEnvelopeTraceCtxCodecRoundTrip checks the envCodecTC layout: the
+// trace context rides between the tag byte and the codec body, and both
+// come back intact.
+func TestEnvelopeTraceCtxCodecRoundTrip(t *testing.T) {
+	registerFragTestMsg()
+	tc := wire.TraceCtx{Origin: 4, VT: 123456, Wall: 1700000000000000001, Sampled: true, Ref: "hwg/9"}
+	env := &envelope{From: 4, Uni: true, Addr: "hwg/9", Msg: &fragTestMsg{Data: []byte("payload")}, tc: &tc}
+	buf, err := encodeEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer buf.Release()
+	if buf.B[0] != envCodecTC {
+		t.Fatalf("tag = %d, want envCodecTC (%d)", buf.B[0], envCodecTC)
+	}
+	dec, err := decodeEnvelope(buf.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.tc == nil || *dec.tc != tc {
+		t.Fatalf("trace context: got %+v, want %+v", dec.tc, tc)
+	}
+	if dec.From != env.From || dec.Uni != env.Uni || dec.Addr != env.Addr {
+		t.Fatalf("envelope header mismatch: %+v vs %+v", dec, env)
+	}
+	m, ok := dec.Msg.(*fragTestMsg)
+	if !ok || !bytes.Equal(m.Data, []byte("payload")) {
+		t.Fatalf("body corrupted: %#v", dec.Msg)
+	}
+}
+
+// TestEnvelopeTraceCtxGobRoundTrip checks the envGobTC layout: same
+// trace-context prefix, gob-encoded body.
+func TestEnvelopeTraceCtxGobRoundTrip(t *testing.T) {
+	registerGobTestMsg()
+	tc := wire.TraceCtx{Origin: 2, VT: 7, Wall: 99, Sampled: true, Ref: "ns/0"}
+	env := &envelope{From: 2, Addr: "ns/0", Msg: &gobTestMsg{Data: []byte("gob body")}, tc: &tc}
+	buf, err := encodeEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer buf.Release()
+	if buf.B[0] != envGobTC {
+		t.Fatalf("tag = %d, want envGobTC (%d)", buf.B[0], envGobTC)
+	}
+	dec, err := decodeEnvelope(buf.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.tc == nil || *dec.tc != tc {
+		t.Fatalf("trace context: got %+v, want %+v", dec.tc, tc)
+	}
+	m, ok := dec.Msg.(*gobTestMsg)
+	if !ok || !bytes.Equal(m.Data, []byte("gob body")) {
+		t.Fatalf("body corrupted: %#v", dec.Msg)
+	}
+}
+
+// TestEnvelopeWithoutTraceCtxKeepsLegacyTags pins backward
+// compatibility: an unstamped envelope must encode with the original
+// envCodec/envGob tags so uninstrumented peers interoperate.
+func TestEnvelopeWithoutTraceCtxKeepsLegacyTags(t *testing.T) {
+	registerFragTestMsg()
+	registerGobTestMsg()
+	codecEnv := &envelope{From: 1, Msg: &fragTestMsg{Data: []byte("x")}}
+	buf, err := encodeEnvelope(codecEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.B[0] != envCodec {
+		t.Fatalf("codec tag = %d, want envCodec (%d)", buf.B[0], envCodec)
+	}
+	buf.Release()
+	gobEnv := &envelope{From: 1, Msg: &gobTestMsg{Data: []byte("x")}}
+	buf, err = encodeEnvelope(gobEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.B[0] != envGob {
+		t.Fatalf("gob tag = %d, want envGob (%d)", buf.B[0], envGob)
+	}
+	buf.Release()
+}
+
+// TestEnvelopeTraceCtxTruncated checks that every strict prefix of a
+// TC-tagged envelope fails to decode rather than mis-parsing: the trace
+// context sits in front of the body, so corruption there must not be
+// interpreted as message bytes.
+func TestEnvelopeTraceCtxTruncated(t *testing.T) {
+	registerFragTestMsg()
+	tc := wire.TraceCtx{Origin: 1, VT: 2, Wall: 3, Sampled: true, Ref: "hwg/1"}
+	env := &envelope{From: 1, Msg: &fragTestMsg{Data: []byte("abc")}, tc: &tc}
+	buf, err := encodeEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer buf.Release()
+	for cut := 1; cut < len(buf.B); cut++ {
+		if _, err := decodeEnvelope(buf.B[:cut]); err == nil {
+			t.Fatalf("truncated envelope (%d of %d bytes) decoded", cut, len(buf.B))
+		}
+	}
+}

@@ -55,11 +55,13 @@ import (
 	"net/netip"
 	"runtime"
 	"sync"
+	"time"
 
 	"plwg/internal/ids"
 	"plwg/internal/metrics"
 	"plwg/internal/netsim"
 	"plwg/internal/sim"
+	"plwg/internal/trace"
 	"plwg/internal/wire"
 )
 
@@ -76,11 +78,19 @@ type envelope struct {
 	Addr string
 	Uni  bool
 	Msg  netsim.Message
+
+	// tc is the optional wire-level trace context. Unexported so the gob
+	// fallback never serializes it as part of the body: the context rides
+	// between the tag byte and the body (envCodecTC/envGobTC), one layout
+	// for both codecs, invisible to decoders that predate it.
+	tc *wire.TraceCtx
 }
 
 const (
-	envGob   byte = 0 // gob-encoded envelope follows
-	envCodec byte = 1 // binary codec: From, Uni, Addr, then the message
+	envGob     byte = 0 // gob-encoded envelope follows
+	envCodec   byte = 1 // binary codec: From, Uni, Addr, then the message
+	envCodecTC byte = 2 // trace context, then the envCodec layout
+	envGobTC   byte = 3 // trace context, then the envGob layout
 )
 
 // PipelineConfig tunes the transport's parallel data plane. The zero
@@ -205,6 +215,23 @@ type Transport struct {
 	// the send path. Mutable from any goroutine (see faults.go).
 	faults *faultTable
 
+	// tracer receives wire-level receive events (WireRecv) so live rings
+	// record cross-node causality; nil disables them. Set before Start.
+	tracer trace.Tracer
+	// sampleEvery gates the trace context on high-volume message kinds
+	// (data/ack/heartbeat/nack): every Nth such send is stamped, the
+	// rest carry no context. Control traffic is always stamped. 0
+	// disables contexts entirely. Loop-confined with tcSeq.
+	sampleEvery int
+	tcSeq       uint64
+	// inTC is the "current inbound trace context" slot: set for the
+	// duration of one deliverEnv handler call, so the protocol stacks —
+	// which run synchronously on the driver loop under deliverEnv — can
+	// pick up the sender context without any interface change.
+	// Loop-confined.
+	inTC   wire.TraceCtx
+	inTCOK bool
+
 	// pc configures the parallel data plane. Set before Start.
 	pc PipelineConfig
 
@@ -245,6 +272,8 @@ type transportMetrics struct {
 	sendRingOverflow *metrics.Counter
 	sendRingDepth    *metrics.Gauge
 	decodeQueueDepth *metrics.Gauge
+	traceCtxSent     *metrics.Counter
+	traceCtxRecv     *metrics.Counter
 }
 
 // Instrument resolves the transport's counters from the registry (nil
@@ -261,7 +290,57 @@ func (t *Transport) Instrument(r *metrics.Registry) {
 		sendRingOverflow: r.Counter("rtnet_send_ring_overflow_total"),
 		sendRingDepth:    r.Gauge("rtnet_send_ring_depth"),
 		decodeQueueDepth: r.Gauge("rtnet_decode_queue_depth"),
+		traceCtxSent:     r.Counter("rtnet_trace_ctx_sent_total"),
+		traceCtxRecv:     r.Counter("rtnet_trace_ctx_recv_total"),
 	}
+}
+
+// TraceContext enables wire-level trace contexts: every control send —
+// and every sampleEvery'th high-volume send (data/ack/heartbeat/nack) —
+// carries a wire.TraceCtx, which the receiving node records into tracer
+// (when non-nil) as a WireRecv event and exposes to its protocol stacks
+// for one-way latency measurement. sampleEvery <= 0 disables contexts.
+// Call before Start.
+func (t *Transport) TraceContext(tracer trace.Tracer, sampleEvery int) {
+	if _, nop := tracer.(trace.Nop); nop {
+		tracer = nil
+	}
+	t.tracer = tracer
+	t.sampleEvery = sampleEvery
+}
+
+// InboundTraceCtx returns the trace context of the envelope currently
+// being delivered, if it carried one. Only meaningful on the driver
+// loop, during a handler call under deliverEnv; the slot is cleared when
+// the delivery returns.
+func (t *Transport) InboundTraceCtx() (wire.TraceCtx, bool) {
+	return t.inTC, t.inTCOK
+}
+
+// stampTC attaches a trace context to an outgoing envelope, applying the
+// sampling policy. Loop-confined (tcSeq and the fault RNG share the
+// loop's historical-order guarantee).
+func (t *Transport) stampTC(env *envelope) {
+	if t.sampleEvery <= 0 {
+		return
+	}
+	if k, ok := env.Msg.(netsim.Kinder); ok {
+		switch k.Kind() {
+		case "data", "ack", "heartbeat", "nack":
+			t.tcSeq++
+			if t.tcSeq%uint64(t.sampleEvery) != 0 {
+				return
+			}
+		}
+	}
+	env.tc = &wire.TraceCtx{
+		Origin:  int64(t.pid),
+		VT:      int64(t.d.Sim().Now()),
+		Wall:    time.Now().UnixNano(),
+		Sampled: true,
+		Ref:     env.Addr,
+	}
+	t.ins.traceCtxSent.Inc()
 }
 
 func (t *Transport) countSend(n int) {
@@ -552,7 +631,9 @@ func (t *Transport) Multicast(from netsim.NodeID, addr netsim.Addr, msg netsim.M
 	if from != t.pid {
 		return
 	}
-	chunks, buf := t.encodeChunks(&envelope{From: from, Addr: string(addr), Msg: msg})
+	env := envelope{From: from, Addr: string(addr), Msg: msg}
+	t.stampTC(&env)
+	chunks, buf := t.encodeChunks(&env)
 	if chunks == nil {
 		return // unregistered type; nothing sane to do at this layer
 	}
@@ -593,7 +674,9 @@ func (t *Transport) Unicast(from, to netsim.NodeID, addr netsim.Addr, msg netsim
 	if !ok || t.blocked[to] {
 		return
 	}
-	chunks, buf := t.encodeChunks(&envelope{From: from, Addr: string(addr), Uni: true, Msg: msg})
+	env := envelope{From: from, Addr: string(addr), Uni: true, Msg: msg}
+	t.stampTC(&env)
+	chunks, buf := t.encodeChunks(&env)
 	if chunks == nil {
 		return
 	}
@@ -615,9 +698,25 @@ func (t *Transport) deliverEnv(env *envelope) {
 	if !env.Uni && !t.subs[addr] {
 		return // not subscribed: filtered like IP multicast
 	}
+	if env.tc != nil {
+		t.ins.traceCtxRecv.Inc()
+		t.inTC, t.inTCOK = *env.tc, true
+		if t.tracer != nil {
+			t.tracer.Trace(trace.Event{
+				At:    t.d.Sim().Now(),
+				Node:  t.pid,
+				Layer: "net",
+				What:  trace.WireRecv,
+				Src:   ids.ProcessID(env.tc.Origin),
+				Ref:   env.tc.Ref,
+				Data:  env.Addr,
+			})
+		}
+	}
 	if t.handler != nil {
 		t.handler(env.From, addr, env.Msg)
 	}
+	t.inTCOK = false
 }
 
 // apHash partitions datagram sources across decode workers (FNV-1a over
@@ -820,7 +919,12 @@ func encodeEnvelopeFramed(env *envelope) (*wire.Buffer, error) {
 func encodeEnvelopeInto(b *wire.Buffer, env *envelope) error {
 	prefix := len(b.B)
 	if m, ok := env.Msg.(wire.Marshaler); ok {
-		b.Byte(envCodec)
+		if env.tc != nil {
+			b.Byte(envCodecTC)
+			env.tc.MarshalWire(b)
+		} else {
+			b.Byte(envCodec)
+		}
 		b.Int64(int64(env.From))
 		b.Bool(env.Uni)
 		b.String(env.Addr)
@@ -831,7 +935,12 @@ func encodeEnvelopeInto(b *wire.Buffer, env *envelope) error {
 		// carrying an unregistered payload): gob the whole envelope.
 		b.B = b.B[:prefix]
 	}
-	b.Byte(envGob)
+	if env.tc != nil {
+		b.Byte(envGobTC)
+		env.tc.MarshalWire(b)
+	} else {
+		b.Byte(envGob)
+	}
 	if err := gob.NewEncoder(b).Encode(env); err != nil {
 		return fmt.Errorf("encode envelope: %w", err)
 	}
@@ -843,9 +952,16 @@ func decodeEnvelope(data []byte) (envelope, error) {
 		return envelope{}, fmt.Errorf("decode envelope: empty")
 	}
 	switch data[0] {
-	case envCodec:
+	case envCodec, envCodecTC:
 		r := wire.NewReader(data[1:])
-		env := envelope{From: ids.ProcessID(r.Int64())}
+		var tc *wire.TraceCtx
+		if data[0] == envCodecTC {
+			tc = new(wire.TraceCtx)
+			if !tc.UnmarshalWire(r) {
+				return envelope{}, fmt.Errorf("decode envelope: bad trace context")
+			}
+		}
+		env := envelope{From: ids.ProcessID(r.Int64()), tc: tc}
 		env.Uni = r.Bool()
 		env.Addr = r.String()
 		m, err := wire.Decode(r)
@@ -858,11 +974,22 @@ func decodeEnvelope(data []byte) (envelope, error) {
 		}
 		env.Msg = msg
 		return env, nil
-	case envGob:
+	case envGob, envGobTC:
+		body := data[1:]
+		var tc *wire.TraceCtx
+		if data[0] == envGobTC {
+			r := wire.NewReader(body)
+			tc = new(wire.TraceCtx)
+			if !tc.UnmarshalWire(r) {
+				return envelope{}, fmt.Errorf("decode envelope: bad trace context")
+			}
+			body = body[len(body)-r.Len():]
+		}
 		var env envelope
-		if err := gob.NewDecoder(bytes.NewReader(data[1:])).Decode(&env); err != nil {
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
 			return envelope{}, fmt.Errorf("decode envelope: %w", err)
 		}
+		env.tc = tc
 		return env, nil
 	default:
 		return envelope{}, fmt.Errorf("decode envelope: unknown codec tag %d", data[0])

@@ -67,6 +67,12 @@ const (
 	// The invariant checker treats it as a finding: an overflow-induced
 	// delivery gap must never pass as silence.
 	LWGPreInstallDrop = "lwg-preinstall-drop"
+	// WireRecv marks a trace-context-carrying envelope arriving at a
+	// live rtnet node (Layer "net"). The event carries Src (the origin
+	// process from the wire context) and Ref (the context's operation
+	// reference — the envelope address it was sent to), tying the
+	// receiver's ring to the sender's without a shared recorder.
+	WireRecv = "wire-recv"
 )
 
 // Event is one traced protocol event.

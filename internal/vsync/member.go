@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"plwg/internal/ids"
+	"plwg/internal/metrics"
 	"plwg/internal/sim"
 	"plwg/internal/trace"
 )
@@ -113,6 +114,11 @@ type member struct {
 	nackTicker *sim.Ticker
 	joinTicker *sim.Ticker
 	joinTimer  *sim.Timer
+
+	// hLatency is the per-group one-way send→deliver latency histogram,
+	// fed by wire trace contexts on sampled data envelopes (rtnet only;
+	// nil histogram when metrics are disabled).
+	hLatency *metrics.Histo
 }
 
 // reconfig is the initiator-side state of one flush round.
@@ -144,6 +150,7 @@ func newMember(s *Stack, gid ids.HWGID) *member {
 		knownPeers:     make(map[ids.ViewID]ids.View),
 		pendingJoiners: make(map[ids.ProcessID]bool),
 		leavers:        make(map[ids.ProcessID]bool),
+		hLatency:       s.reg.Histogram("hwg_oneway_latency", metrics.L("hwg", gid.String())),
 	}
 }
 
@@ -301,6 +308,13 @@ func (m *member) onData(from ids.ProcessID, d *msgData) {
 		return // tagged with a view this process is not in
 	}
 	m.heard(from)
+	// Attach the envelope's wire trace context (live transport only, and
+	// only the sampled minority of data envelopes). Guarding on the
+	// origin keeps retransmitted copies — which re-enter via onRetrans
+	// and flush fills, not here — from ever carrying a stale context.
+	if tc, ok := m.st.inboundTC(); ok && tc.Origin == int64(d.Sender) {
+		d.tc, d.tcOK = tc, true
+	}
 	m.deliverData(d, true)
 	if len(d.Acks) > 0 {
 		// Piggybacked cumulative vector: same stability rule as a
@@ -363,12 +377,25 @@ func (m *member) deliverData(d *msgData, ack bool) {
 	m.appDeliver(d)
 }
 
-// appDeliver hands a message to the user.
+// appDeliver hands a message to the user. When the message arrived with
+// a wire trace context it also records one-way send→deliver latency
+// (wall clocks are the only cross-machine-comparable timebase; origin
+// virtual times are per-node) and exposes the context to the upcall via
+// Stack.InboundTC for the duration of the call.
 func (m *member) appDeliver(d *msgData) {
 	m.st.ins.deliveries.Inc()
+	if d.tcOK && d.Sender != m.st.pid {
+		lat := time.Duration(time.Now().UnixNano() - d.tc.Wall)
+		if lat < 0 {
+			lat = 0 // clock skew between hosts; clamp, don't poison
+		}
+		m.hLatency.Observe(lat)
+	}
+	m.st.inTC, m.st.inTCOK = d.tc, d.tcOK
 	if m.st.up != nil {
 		m.st.up.Data(m.gid, d.Sender, d.Payload)
 	}
+	m.st.inTCOK = false
 }
 
 // drainOrdered delivers buffered Ordered messages in token order.

@@ -6,6 +6,7 @@ import (
 
 	"plwg/internal/ids"
 	"plwg/internal/netsim"
+	"plwg/internal/wire"
 )
 
 // Payload is the user content of a virtually synchronous multicast (for
@@ -57,6 +58,14 @@ type msgData struct {
 	// (highest contiguous sequence delivered per sender in View); nil
 	// unless the AckPiggyback policy is active.
 	Acks map[ids.ProcessID]uint64
+
+	// tc is the wire trace context of the envelope this message arrived
+	// in, attached by the receiver in onData (never serialized — it is
+	// not part of the message, it is delivery metadata). Keeping it on
+	// the message lets it survive total-order holdback in ordBuf so the
+	// latency observation happens at the actual Data upcall.
+	tc   wire.TraceCtx
+	tcOK bool
 }
 
 func (m *msgData) key() msgKey { return msgKey{View: m.View, Sender: m.Sender, Seq: m.Seq} }

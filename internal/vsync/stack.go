@@ -31,7 +31,16 @@ import (
 	"plwg/internal/netsim"
 	"plwg/internal/sim"
 	"plwg/internal/trace"
+	"plwg/internal/wire"
 )
+
+// tcSource is the optional transport capability of exposing the wire
+// trace context of the envelope currently being delivered (rtnet's
+// Transport implements it; the simulated network does not, keeping sim
+// runs free of wall-clock reads).
+type tcSource interface {
+	InboundTraceCtx() (wire.TraceCtx, bool)
+}
 
 // Upcalls is the interface the user of the HWG layer implements to receive
 // the Table 1 upcalls. The light-weight group service is such a user.
@@ -104,6 +113,16 @@ type Stack struct {
 	up     Upcalls
 	tracer trace.Tracer
 	ins    stackMetrics
+	// reg resolves per-group labeled instruments lazily (nil disables).
+	reg *metrics.Registry
+	// netTC is the transport's inbound trace-context capability, nil on
+	// the simulated network.
+	netTC tcSource
+	// inTC/inTCOK expose the wire trace context of the message currently
+	// being handed up via the Data upcall; valid only for the duration of
+	// that synchronous upcall (single protocol goroutine).
+	inTC   wire.TraceCtx
+	inTCOK bool
 
 	groups map[ids.HWGID]*member
 	// viewSeq is this process's per-group view-sequence counter: "a local
@@ -124,6 +143,7 @@ func NewStack(p Params) *Stack {
 	if tr == nil {
 		tr = trace.Nop{}
 	}
+	netTC, _ := p.Net.(tcSource)
 	return &Stack{
 		net:     p.Net,
 		clock:   p.Net.Sim(),
@@ -132,10 +152,28 @@ func NewStack(p Params) *Stack {
 		up:      p.Upcalls,
 		tracer:  tr,
 		ins:     newStackMetrics(p.Metrics),
+		reg:     p.Metrics,
+		netTC:   netTC,
 		groups:  make(map[ids.HWGID]*member),
 		viewSeq: make(map[ids.HWGID]uint64),
 	}
 }
+
+// inboundTC returns the wire trace context of the envelope currently
+// being delivered by the transport, if the transport exposes one.
+func (s *Stack) inboundTC() (wire.TraceCtx, bool) {
+	if s.netTC == nil {
+		return wire.TraceCtx{}, false
+	}
+	return s.netTC.InboundTraceCtx()
+}
+
+// InboundTC returns the wire trace context of the data message currently
+// being delivered through the Data upcall, when the message's envelope
+// carried one (sampling makes that the minority of data traffic). Valid
+// only inside the upcall, on the protocol goroutine — the light-weight
+// layer uses it to extend one-way latency accounting to LWG deliveries.
+func (s *Stack) InboundTC() (wire.TraceCtx, bool) { return s.inTC, s.inTCOK }
 
 // NumGroups returns the number of groups the stack participates in
 // (allocation-free, for gauges).

@@ -1,0 +1,51 @@
+package wire
+
+import "testing"
+
+func TestTraceCtxRoundTrip(t *testing.T) {
+	cases := []TraceCtx{
+		{},
+		{Origin: 3, VT: 123456789, Wall: 1700000000000000000, Sampled: true, Ref: "hwg/7"},
+		{Origin: -1, VT: -5, Wall: -9, Sampled: false, Ref: ""},
+		{Origin: 1 << 40, VT: 1<<62 - 1, Wall: 1, Sampled: true, Ref: "ns/digest"},
+	}
+	for _, want := range cases {
+		b := GetBuffer()
+		want.MarshalWire(b)
+		var got TraceCtx
+		r := NewReader(b.B)
+		if !got.UnmarshalWire(r) {
+			t.Fatalf("unmarshal failed for %+v: %v", want, r.Err())
+		}
+		if got != want {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+		if r.Len() != 0 {
+			t.Errorf("trailing bytes after %+v", want)
+		}
+		b.Release()
+	}
+}
+
+func TestTraceCtxBadVersion(t *testing.T) {
+	b := GetBuffer()
+	defer b.Release()
+	(&TraceCtx{Origin: 1, Ref: "x"}).MarshalWire(b)
+	b.B[0] = 0xEE
+	var got TraceCtx
+	if got.UnmarshalWire(NewReader(b.B)) {
+		t.Fatal("unknown version must not decode")
+	}
+}
+
+func TestTraceCtxTruncated(t *testing.T) {
+	b := GetBuffer()
+	defer b.Release()
+	(&TraceCtx{Origin: 42, VT: 9, Wall: 11, Sampled: true, Ref: "hwg/1"}).MarshalWire(b)
+	for cut := 0; cut < len(b.B); cut++ {
+		var got TraceCtx
+		if got.UnmarshalWire(NewReader(b.B[:cut])) {
+			t.Fatalf("truncated encoding (%d of %d bytes) decoded", cut, len(b.B))
+		}
+	}
+}
